@@ -1,0 +1,82 @@
+"""Ablation 2 — columnar numpy storage vs pure-python rows (DESIGN.md §6.2).
+
+The HPC guides say: vectorize the hot loop.  Thicket's hot loop is the
+per-node reduction over profiles behind every aggregated statistic.
+We time our columnar groupby/agg against a row-of-dicts baseline at
+ensemble scale and require equal results (then let the benchmark table
+show the gap).
+"""
+
+import numpy as np
+import pytest
+
+from repro.frame import DataFrame
+
+N_NODES = 60
+N_PROFILES = 200
+
+
+@pytest.fixture(scope="module")
+def table_data():
+    rng = np.random.default_rng(0)
+    nodes = [f"node_{i}" for i in range(N_NODES)]
+    keys = [n for n in nodes for _ in range(N_PROFILES)]
+    time = rng.lognormal(0.0, 0.3, len(keys))
+    l1 = rng.poisson(1000, len(keys)).astype(float)
+    return keys, time, l1
+
+
+@pytest.fixture(scope="module")
+def columnar(table_data):
+    keys, time, l1 = table_data
+    return DataFrame({"node": keys, "time": time, "l1": l1})
+
+
+@pytest.fixture(scope="module")
+def row_store(table_data):
+    keys, time, l1 = table_data
+    return [{"node": k, "time": t, "l1": c}
+            for k, t, c in zip(keys, time, l1)]
+
+
+def columnar_stats(df: DataFrame):
+    return df.groupby("node").agg({"time": ["mean", "std"],
+                                   "l1": ["mean", "std"]})
+
+
+def rowwise_stats(rows):
+    """Pure-python baseline: bucket then reduce with stdlib arithmetic."""
+    buckets: dict[str, list[dict]] = {}
+    for row in rows:
+        buckets.setdefault(row["node"], []).append(row)
+    out = {}
+    for node, members in buckets.items():
+        agg = {}
+        for col in ("time", "l1"):
+            vals = [m[col] for m in members]
+            mean = sum(vals) / len(vals)
+            var = sum((v - mean) ** 2 for v in vals) / (len(vals) - 1)
+            agg[f"{col}_mean"] = mean
+            agg[f"{col}_std"] = var ** 0.5
+        out[node] = agg
+    return out
+
+
+def test_ablation_columnar_groupby(benchmark, columnar):
+    out = benchmark(columnar_stats, columnar)
+    assert len(out) == N_NODES
+
+
+def test_ablation_rowwise_baseline(benchmark, row_store):
+    out = benchmark(rowwise_stats, row_store)
+    assert len(out) == N_NODES
+
+
+def test_ablation_strategies_agree(columnar, row_store):
+    fast = columnar_stats(columnar)
+    slow = rowwise_stats(row_store)
+    for node, agg in slow.items():
+        pos = fast.index.get_loc(node)
+        for key, expected in agg.items():
+            np.testing.assert_allclose(
+                fast.column(key)[pos], expected, rtol=1e-10)

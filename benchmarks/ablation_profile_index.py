@@ -1,0 +1,62 @@
+"""Ablation 3 — hash profile ids vs metadata-column profile ids (§3.2.1).
+
+Thicket lets the user pick the profile index: a deterministic metadata
+hash (default) or a study-relevant metadata column such as problem
+size.  We measure composition cost under both and check the documented
+trade-off: the hash never collides across distinct runs, while the
+metadata column is only usable when its values are unique.
+"""
+
+import pytest
+
+from repro import Thicket
+from repro.caliper import profile_to_cali_dict
+from repro.readers import read_cali_dict
+from repro.workloads import QUARTZ, generate_rajaperf_profile
+
+SIZES = (1048576, 2097152, 4194304, 8388608)
+
+
+@pytest.fixture(scope="module")
+def gfs():
+    out = []
+    for i, size in enumerate(SIZES):
+        prof = generate_rajaperf_profile(QUARTZ, size, seed=600 + i)
+        out.append(read_cali_dict(profile_to_cali_dict(prof)))
+    return out
+
+
+def compose_hash(gfs):
+    return Thicket.from_caliperreader(gfs)
+
+
+def compose_metadata_key(gfs):
+    return Thicket.from_caliperreader(gfs, metadata_key="problem_size")
+
+
+def test_ablation_hash_index(benchmark, gfs):
+    tk = benchmark(compose_hash, gfs)
+    # hash ids are signed 64-bit and unique
+    assert len(set(tk.profile)) == len(SIZES)
+    assert all(isinstance(int(p), int) for p in tk.profile)
+
+
+def test_ablation_metadata_key_index(benchmark, gfs):
+    tk = benchmark(compose_metadata_key, gfs)
+    # human-meaningful ids straight from the study dimension
+    assert set(tk.profile) == set(SIZES)
+
+
+def test_ablation_semantics():
+    """The trade-off: metadata keys must be unique, hashes always are."""
+    gfs = []
+    for seed in (1, 2):  # same problem size twice
+        prof = generate_rajaperf_profile(QUARTZ, 1048576, seed=seed,
+                                         kernels=["Stream_DOT"])
+        gfs.append(read_cali_dict(profile_to_cali_dict(prof)))
+    # hash index: fine
+    tk = Thicket.from_caliperreader(gfs)
+    assert len(tk.profile) == 2
+    # metadata-column index: collision detected, not silently merged
+    with pytest.raises(ValueError):
+        Thicket.from_caliperreader(gfs, metadata_key="problem_size")

@@ -1,0 +1,87 @@
+"""Ablation 4 — sparse vs dense ensemble composition (paper §6).
+
+The paper rejects xarray because dense n-dimensional layouts duplicate
+data when call trees only partially overlap.  Our composition is
+sparse by default (rows exist only for visited (node, profile) pairs)
+with an opt-in dense mode (``fill_perfdata=True``).  We quantify the
+row blow-up on an ensemble whose profiles each see a different subtree
+slice, and time both paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Thicket
+from repro.graph import GraphFrame
+
+N_PROFILES = 24
+N_KERNELS = 40
+WINDOW = 8  # kernels actually visited per profile
+
+
+def make_partial_gf(variant: int) -> GraphFrame:
+    """Each profile visits only a sliding window of the kernel set."""
+    children = []
+    start = (variant * 3) % N_KERNELS
+    for k in range(start, start + WINDOW):
+        children.append({
+            "frame": {"name": f"kernel_{k % N_KERNELS}"},
+            "metrics": {"time (exc)": 0.1 + 0.01 * k},
+        })
+    gf = GraphFrame.from_literal([{
+        "frame": {"name": "root"},
+        "metrics": {"time (exc)": 0.0},
+        "children": children,
+    }])
+    gf.metadata["variant"] = variant
+    return gf
+
+
+@pytest.fixture(scope="module")
+def gfs():
+    return [make_partial_gf(v) for v in range(N_PROFILES)]
+
+
+def compose_sparse(gfs):
+    return Thicket.from_caliperreader(gfs)
+
+
+def compose_dense(gfs):
+    return Thicket.from_caliperreader(gfs, fill_perfdata=True)
+
+
+def test_ablation_sparse_composition(benchmark, gfs):
+    tk = benchmark(compose_sparse, gfs)
+    # sparse: one row per *visited* (node, profile) pair
+    assert len(tk.dataframe) == N_PROFILES * (WINDOW + 1)
+
+
+def test_ablation_dense_composition(benchmark, gfs):
+    tk = benchmark(compose_dense, gfs)
+    # dense: |union nodes| x |profiles| rows, mostly NaN
+    assert len(tk.dataframe) == len(tk.graph) * N_PROFILES
+    col = tk.dataframe.column("time (exc)").astype(float)
+    nan_fraction = float(np.isnan(col).mean())
+    assert nan_fraction > 0.5  # the duplication the paper warns about
+
+
+def test_ablation_blowup_factor(gfs):
+    sparse = compose_sparse(gfs)
+    dense = compose_dense(gfs)
+    blowup = len(dense.dataframe) / len(sparse.dataframe)
+    # the window covers ~22% of the kernel union -> ~4-5x dense blow-up
+    assert blowup > 3.0
+    # both agree on the actually-measured cells
+    sparse_cells = {
+        (t[0].frame.name, t[1]): v
+        for t, v in zip(sparse.dataframe.index.values,
+                        sparse.dataframe.column("time (exc)"))
+    }
+    hits = 0
+    for t, v in zip(dense.dataframe.index.values,
+                    dense.dataframe.column("time (exc)")):
+        key = (t[0].frame.name, t[1])
+        if key in sparse_cells and np.isfinite(v):
+            np.testing.assert_allclose(v, sparse_cells[key])
+            hits += 1
+    assert hits == len(sparse.dataframe)

@@ -1,0 +1,73 @@
+"""Ablation 1 — call-tree matching strategy (DESIGN.md §6.1).
+
+The paper notes Thicket "solves the graph isomorphism problem" to
+intersect call trees.  We compare our path-canonical union (one hash
+map over root paths) against a naive pairwise recursive name-matching
+merge, on wide ensembles.  Both must produce isomorphic unions; the
+canonical approach does one pass per graph instead of re-walking the
+accumulated union for every input.
+"""
+
+import pytest
+
+from repro.graph import Frame, Graph, Node, trees_isomorphic, union_many
+
+
+def make_profile_graph(n_groups: int, n_kernels: int, variant: int) -> Graph:
+    """A suite-shaped tree; `variant` perturbs which kernels appear."""
+    root = Node(Frame(name="root"))
+    for g in range(n_groups):
+        group = root.connect(Node(Frame(name=f"group_{g}")))
+        for k in range(n_kernels):
+            if (g + k + variant) % 7 == 0:
+                continue  # this variant misses some kernels
+            group.connect(Node(Frame(name=f"kernel_{g}_{k}")))
+    return Graph([root])
+
+
+def naive_pairwise_merge(graphs):
+    """Baseline: repeatedly merge graph i into the accumulated union by
+    recursive child-name matching (quadratic re-walks)."""
+
+    def merge_into(acc_node, new_node):
+        acc_children = {c.frame.name: c for c in acc_node.children}
+        for child in new_node.children:
+            target = acc_children.get(child.frame.name)
+            if target is None:
+                target = acc_node.connect(Node(child.frame))
+                acc_children[child.frame.name] = target
+            merge_into(target, child)
+
+    first = graphs[0]
+    acc_roots = {}
+    union_roots = []
+    for graph in graphs:
+        for root in graph.roots:
+            target = acc_roots.get(root.frame.name)
+            if target is None:
+                target = Node(root.frame)
+                acc_roots[root.frame.name] = target
+                union_roots.append(target)
+            merge_into(target, root)
+    return Graph(union_roots)
+
+
+@pytest.fixture(scope="module")
+def ensemble():
+    return [make_profile_graph(8, 24, v) for v in range(32)]
+
+
+def test_ablation_union_canonical(benchmark, ensemble):
+    union, _ = benchmark(union_many, ensemble)
+    assert len(union) > len(ensemble[0])
+
+
+def test_ablation_union_naive_baseline(benchmark, ensemble):
+    union = benchmark(naive_pairwise_merge, ensemble)
+    assert len(union) > len(ensemble[0])
+
+
+def test_ablation_union_strategies_agree(ensemble):
+    canonical, _ = union_many(ensemble)
+    naive = naive_pairwise_merge(ensemble)
+    assert trees_isomorphic(canonical, naive)

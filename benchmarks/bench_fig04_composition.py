@@ -1,0 +1,88 @@
+"""Fig. 4 — multi-dimensional performance data table.
+
+Paper: two problem sizes × {CPU, GPU} sources composed into one table
+with a hierarchical column index; CPU times grow ~linearly with
+problem size, GPU columns carry NCU-style throughput metrics with the
+memory-bound/compute-bound split.
+"""
+
+import numpy as np
+
+from repro import concat_thickets
+from repro.frame import to_csv
+from repro.frame.dataframe import DataFrame
+from repro.frame.index import MultiIndex
+from repro.workloads import NCU_METRICS, generate_ncu_report
+
+from conftest import FIG4_KERNELS
+
+
+def compose(cpu_gpu_thickets):
+    cpu, gpu = cpu_gpu_thickets
+    tk = concat_thickets([cpu, gpu], axis="columns",
+                         headers=["CPU", "GPU"],
+                         metadata_key="problem_size", match_on="name")
+    # attach NCU metrics per (kernel, problem size) like the paper
+    reports = {
+        size: generate_ncu_report(size, seed=size % 101)
+        for size in {t[1] for t in tk.dataframe.index.values}
+    }
+    for metric in NCU_METRICS:
+        tk.dataframe[("GPU", metric)] = [
+            reports[t[1]].get(t[0].frame.name, {}).get(metric, np.nan)
+            for t in tk.dataframe.index.values
+        ]
+    return tk
+
+
+def fig4_table(tk) -> DataFrame:
+    keep = [i for i, t in enumerate(tk.dataframe.index.values)
+            if t[0].frame.name in FIG4_KERNELS
+            and t[1] in (1048576, 4194304)]
+    cols = [("CPU", "time (exc)"), ("CPU", "Reps"), ("CPU", "Retiring"),
+            ("CPU", "Backend bound"), ("GPU", "time (gpu)")] + [
+        ("GPU", m) for m in NCU_METRICS[:3]]
+    return tk.dataframe.take(keep).select(cols)
+
+
+def test_fig04_multidim_table(benchmark, cpu_gpu_thickets, output_dir):
+    tk = benchmark(compose, cpu_gpu_thickets)
+    table = fig4_table(tk)
+    to_csv(table, output_dir / "fig04_multidim_table.csv")
+    (output_dir / "fig04_multidim_table.txt").write_text(table.to_string())
+    from repro.viz import table_svg
+
+    table_svg(table, title="Fig 4: multi-dimensional performance data"
+              ).save(output_dir / "fig04_multidim_table.svg")
+
+    assert isinstance(table.index, MultiIndex)
+    assert len(table) == 2 * len(FIG4_KERNELS)
+
+    def rows_of(kernel):
+        return {t[1]: i for i, t in enumerate(table.index.values)
+                if t[0].frame.name == kernel}
+
+    cpu_time = table.column(("CPU", "time (exc)"))
+    for kernel in FIG4_KERNELS:
+        rows = rows_of(kernel)
+        # paper: time grows 3.3x-7.9x from 1048576 to 4194304 (4x work,
+        # modulated by cache residency at the small size)
+        ratio = cpu_time[rows[4194304]] / cpu_time[rows[1048576]]
+        assert 2.0 < ratio < 10.0
+
+    # paper: VOL3D retires the most; HYDRO/DOT heavily backend bound
+    retiring = table.column(("CPU", "Retiring"))
+    backend = table.column(("CPU", "Backend bound"))
+    vol3d = rows_of("Apps_VOL3D")[4194304]
+    hydro = rows_of("Lcals_HYDRO_1D")[4194304]
+    dot = rows_of("Stream_DOT")[4194304]
+    assert retiring[vol3d] > retiring[hydro]
+    assert retiring[vol3d] > retiring[dot]
+    assert backend[hydro] > 0.75 and backend[dot] > 0.75
+
+    # paper: HYDRO_1D's dram throughput near its ceiling, SM tiny;
+    # VOL3D drives the SMs harder
+    dram = table.column(("GPU", "gpu__dram_throughput"))
+    sm = table.column(("GPU", "sm__throughput"))
+    assert dram[hydro] > 70.0
+    assert sm[vol3d] > sm[hydro]

@@ -1,0 +1,30 @@
+"""Fig. 6 — ``filter_metadata`` on the compiler column.
+
+Paper: filtering Fig. 5's table for clang-9.0.0 leaves the two quartz
+profiles; the original thicket is untouched.
+"""
+
+from repro.frame import to_csv
+
+
+def run_filter(tk):
+    return tk.filter_metadata(lambda x: x["compiler"] == "clang++-9.0.0")
+
+
+def test_fig06_filter_metadata(benchmark, raja_4profile_thicket, output_dir):
+    out = benchmark(run_filter, raja_4profile_thicket)
+    to_csv(out.metadata, output_dir / "fig06_filtered_metadata.csv")
+
+    # paper: exactly the two clang/quartz profiles remain
+    assert len(out.profile) == 2
+    assert set(out.metadata.column("compiler")) == {"clang++-9.0.0"}
+    assert set(out.metadata.column("cluster")) == {"quartz"}
+    assert set(out.metadata.column("problem_size")) == {1048576, 4194304}
+
+    # performance data follows the metadata selection
+    kept = set(out.profile)
+    assert all(t[1] in kept for t in out.dataframe.index.values)
+    assert len(out.dataframe) < len(raja_4profile_thicket.dataframe)
+
+    # non-destructive: the source thicket still has all four profiles
+    assert len(raja_4profile_thicket.profile) == 4

@@ -1,0 +1,33 @@
+"""Fig. 7 — ``groupby(["compiler", "problem size"])``.
+
+Paper: grouping the 4-profile ensemble on the unique combinations of
+compiler and problem size yields exactly four single-profile thickets,
+keyed ('clang-9.0.0', 1048576) ... ('xlc-16.1.1.12', 4194304).
+"""
+
+
+def run_groupby(tk):
+    return tk.groupby(["compiler", "problem_size"])
+
+
+def test_fig07_groupby(benchmark, raja_4profile_thicket, output_dir):
+    groups = benchmark(run_groupby, raja_4profile_thicket)
+    (output_dir / "fig07_groupby.txt").write_text(repr(groups))
+
+    # paper: "4 thickets created..."
+    assert len(groups) == 4
+    assert repr(groups).startswith("4 thickets created...")
+
+    expected_keys = {
+        ("clang++-9.0.0", 1048576), ("clang++-9.0.0", 4194304),
+        ("xlc++-16.1.1.12", 1048576), ("xlc++-16.1.1.12", 4194304),
+    }
+    assert set(groups.keys()) == expected_keys
+
+    # keys are sorted like the paper's output listing
+    assert list(groups.keys()) == sorted(groups.keys())
+
+    for (compiler, size), sub in groups.items():
+        assert len(sub.profile) == 1
+        assert sub.metadata.column("compiler")[0] == compiler
+        assert sub.metadata.column("problem_size")[0] == size

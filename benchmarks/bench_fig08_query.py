@@ -1,0 +1,52 @@
+"""Fig. 8 — Call Path Query Language: ``Base_CUDA → * → *.block_128``.
+
+Paper: querying the CUDA tree keeps only paths from Base_CUDA to leaf
+nodes ending in block_128 (one per Algorithm kernel), dropping the
+block_256 / library / cub leaves.
+"""
+
+from repro import QueryMatcher
+
+
+def build_query():
+    return (QueryMatcher()
+            .match(".", lambda row: row["name"].apply(
+                lambda x: x == "Base_CUDA").all())
+            .rel("*")
+            .rel(".", lambda row: row["name"].apply(
+                lambda x: x.endswith("block_128")).all()))
+
+
+def run_query(tk):
+    return tk.query(build_query())
+
+
+def test_fig08_query(benchmark, cuda_blocksize_thicket, output_dir):
+    tk = cuda_blocksize_thicket
+    before = tk.tree(metric_column="time (exc)")
+    out = benchmark(run_query, tk)
+    after = out.tree(metric_column="time (exc)")
+    (output_dir / "fig08_query_before_after.txt").write_text(
+        f"BEFORE\n{before}\n\nAFTER\n{after}\n")
+
+    # the union tree (before) carries all four block sizes
+    for bs in (128, 256, 512, 1024):
+        assert f".block_{bs}" in before
+
+    # after the query, only block_128 leaves survive
+    leaf_names = {n.frame.name for n in out.graph if not n.children}
+    assert leaf_names
+    assert all(name.endswith("block_128") for name in leaf_names)
+    assert ".block_256" not in after and ".block_512" not in after
+
+    # interior path nodes are retained (Base_CUDA, group, kernel)
+    names = {n.frame.name for n in out.graph}
+    assert "Base_CUDA" in names
+    assert "Algorithm_MEMCPY" in names
+
+    # performance data restricted to matched nodes
+    assert all(t[0].frame.name in names
+               for t in out.dataframe.index.values)
+
+    # original thicket untouched
+    assert ".block_256" in tk.tree(metric_column="time (exc)")

@@ -1,0 +1,48 @@
+"""Fig. 9 — aggregated statistics table + ``filter_stats``.
+
+Paper: standard deviations of Retiring, Backend bound and time (exc)
+computed per node over a 10-profile ensemble; the table is then
+filtered down to the NODAL_ACCUMULATION_3D and VOL3D rows.
+"""
+
+from repro.core import stats
+from repro.frame import to_csv
+
+from conftest import FIG9_KERNELS
+
+STAT_COLUMNS = ["Retiring", "Backend bound", "time (exc)"]
+
+
+def compute_std(tk):
+    stats.std(tk, STAT_COLUMNS)
+    return tk.statsframe
+
+
+def test_fig09_stats_and_filter(benchmark, raja_10rep_thicket, output_dir):
+    tk = raja_10rep_thicket
+    sf = benchmark(compute_std, tk)
+
+    kernel_rows = [i for i, n in enumerate(sf.index.values)
+                   if n.frame.name in FIG9_KERNELS]
+    view = sf.take(kernel_rows).select(
+        ["name", "Retiring_std", "Backend bound_std", "time (exc)_std"])
+    to_csv(view, output_dir / "fig09_stats_std.csv")
+    (output_dir / "fig09_stats_std.txt").write_text(view.to_string())
+
+    # all five kernel rows present with non-negative stds
+    assert len(view) == 5
+    for col in ("Retiring_std", "Backend bound_std", "time (exc)_std"):
+        vals = view.column(col).astype(float)
+        assert (vals >= 0).all()
+    # paper's scale split: time std ~1e-1, top-down stds ~1e-3
+    assert float(view.column("time (exc)_std").max()) > \
+        10 * float(view.column("Retiring_std").max())
+
+    # filter_stats keeps exactly the two requested nodes (Fig. 9 bottom)
+    wanted = {"Apps_NODAL_ACCUMULATION_3D", "Apps_VOL3D"}
+    out = tk.filter_stats(lambda row: row["name"] in wanted)
+    assert set(out.statsframe.column("name")) == wanted
+    assert {t[0].frame.name for t in out.dataframe.index.values} == wanted
+    to_csv(out.statsframe.select(
+        ["name", "Retiring_std", "Backend bound_std", "time (exc)_std"]),
+        output_dir / "fig09_stats_filtered.csv")

@@ -1,0 +1,137 @@
+"""Fig. 10 — K-means clustering of Stream kernels by top-down metrics.
+
+Paper pipeline: query the "Stream" kernels, compute speedup relative
+to -O0, StandardScaler-normalize (metric, speedup) pairs, pick k by
+Silhouette analysis, run K-means.  Expected clusters (for both the
+retiring and backend-bound views):
+
+* cluster A — Stream_ADD / COPY / TRIAD at -O1/-O2/-O3;
+* cluster B — every kernel at -O0;
+* cluster C — Stream_DOT / MUL at -O1/-O2/-O3;
+
+and -O2 gives the best performance for all kernels.
+"""
+
+import numpy as np
+
+from repro import QueryMatcher
+from repro.learn import KMeans, StandardScaler, best_k_by_silhouette
+from repro.viz import scatter_svg
+
+STREAM = ["Stream_ADD", "Stream_COPY", "Stream_DOT", "Stream_MUL",
+          "Stream_TRIAD"]
+OPTS = ["-O0", "-O1", "-O2", "-O3"]
+
+
+def collect_points(tk, metric):
+    """(kernel, opt) → (metric value, speedup over -O0)."""
+    query = QueryMatcher().match("*").rel(
+        ".", lambda row: row["name"].apply(
+            lambda x: x.startswith("Stream_")).all())
+    streams = tk.query(query)
+
+    time_of = {}
+    metric_of = {}
+    for t, tv, mv in zip(streams.dataframe.index.values,
+                         streams.dataframe.column("time (exc)"),
+                         streams.dataframe.column(metric)):
+        name = t[0].frame.name
+        if name in STREAM:
+            time_of[(name, t[1])] = float(tv)
+            metric_of[(name, t[1])] = float(mv)
+
+    points = []
+    for kernel in STREAM:
+        base = time_of[(kernel, "-O0")]
+        for opt in OPTS:
+            points.append({
+                "kernel": kernel,
+                "opt": opt,
+                "speedup": base / time_of[(kernel, opt)],
+                "metric": metric_of[(kernel, opt)],
+            })
+    return points
+
+
+def cluster(points):
+    X = np.array([[p["speedup"], p["metric"]] for p in points])
+    Xs = StandardScaler().fit_transform(X)
+    k, scores = best_k_by_silhouette(Xs, range(2, 7), random_state=0)
+    labels = KMeans(n_clusters=k, n_init=10, random_state=0).fit_predict(Xs)
+    return k, labels, scores
+
+
+def run_pipeline(tk):
+    points = collect_points(tk, "Retiring")
+    return points, cluster(points)
+
+
+def test_fig10_kmeans_clusters(benchmark, raja_optlevel_thicket, output_dir):
+    tk = raja_optlevel_thicket
+    points, (k, labels, scores) = benchmark(run_pipeline, tk)
+
+    lines = [f"silhouette-chosen k = {k}  scores = "
+             + ", ".join(f"k={kk}:{s:.3f}" for kk, s in sorted(scores.items()))]
+    for p, lab in zip(points, labels):
+        lines.append(f"{p['kernel']:>14} {p['opt']}  speedup={p['speedup']:.3f}"
+                     f" retiring={p['metric']:.4f}  cluster={lab}")
+    (output_dir / "fig10_kmeans.txt").write_text("\n".join(lines))
+    scatter_svg(
+        [p["speedup"] for p in points], [p["metric"] for p in points],
+        labels=[f"{p['kernel']} {p['opt']}" for p in points],
+        colors_by=[str(l) for l in labels],
+        xlabel="Speedup", ylabel="Retiring",
+        title="Fig 10: K-means over Stream kernels",
+    ).save(output_dir / "fig10_kmeans_retiring.svg")
+
+    by_point = {(p["kernel"], p["opt"]): lab
+                for p, lab in zip(points, labels)}
+
+    # paper: three clusters
+    assert k == 3
+
+    # cluster B: every kernel at -O0 shares one label
+    o0_labels = {by_point[(kern, "-O0")] for kern in STREAM}
+    assert len(o0_labels) == 1
+
+    # cluster A: ADD/COPY/TRIAD at -O1..-O3 share a label distinct from -O0
+    a_labels = {by_point[(kern, opt)]
+                for kern in ("Stream_ADD", "Stream_COPY", "Stream_TRIAD")
+                for opt in ("-O1", "-O2", "-O3")}
+    assert len(a_labels) == 1
+    assert a_labels != o0_labels
+
+    # cluster C: DOT/MUL at -O1..-O3 share a third label
+    c_labels = {by_point[(kern, opt)]
+                for kern in ("Stream_DOT", "Stream_MUL")
+                for opt in ("-O1", "-O2", "-O3")}
+    assert len(c_labels) == 1
+    assert c_labels != o0_labels and c_labels != a_labels
+
+    # paper: -O2 produces the best performance for all kernels
+    for p in points:
+        pass
+    speedups = {(p["kernel"], p["opt"]): p["speedup"] for p in points}
+    for kern in STREAM:
+        best = max(OPTS, key=lambda o: speedups[(kern, o)])
+        assert best == "-O2"
+
+    # speedups fall within the paper's 1.0-2.5+ band
+    assert all(1.0 <= s <= 3.0 for s in speedups.values())
+
+
+def test_fig10_backend_bound_view(raja_optlevel_thicket, output_dir):
+    """The paper shows the same clustering for the backend-bound metric."""
+    points = collect_points(raja_optlevel_thicket, "Backend bound")
+    k, labels, _ = cluster(points)
+    scatter_svg(
+        [p["speedup"] for p in points], [p["metric"] for p in points],
+        colors_by=[str(l) for l in labels],
+        xlabel="Speedup", ylabel="Backend bound",
+        title="Fig 10 (bottom): backend bound",
+    ).save(output_dir / "fig10_kmeans_backend.svg")
+    assert k == 3
+    by_point = {(p["kernel"], p["opt"]): lab
+                for p, lab in zip(points, labels)}
+    o0 = {by_point[(kern, "-O0")] for kern in STREAM}
+    assert len(o0) == 1

@@ -1,0 +1,63 @@
+"""Fig. 11 — Extra-P scaling models for MARBL's ``M_solver->Mult``.
+
+Paper: models of avg time/rank vs MPI ranks on CTS (RZTopaz) and AWS
+ParallelCluster; both have the ``a + b·p^(1/3)`` form with negative b
+(e.g. ``200.23 + -18.28·p^(1/3)`` on CTS, ``154.88 + -14.01·p^(1/3)``
+on AWS), and the AWS curve sits below the CTS curve everywhere.
+"""
+
+import numpy as np
+
+from repro.model import ExtrapInterface, Term
+from repro.viz import line_plot_svg
+
+
+def model_both_clusters(marbl_thicket):
+    models = {}
+    for arch, mpi in (("CTS", "openmpi"), ("AWS", "impi")):
+        sub = marbl_thicket.filter_metadata(lambda m, mpi=mpi: m["mpi"] == mpi)
+        fitted = ExtrapInterface().model_thicket(
+            sub, "mpi.world.size", "Avg time/rank")
+        models[arch] = (sub, fitted[sub.get_node("M_solver->Mult")])
+    return models
+
+
+def test_fig11_extrap_models(benchmark, marbl_thicket, output_dir):
+    models = benchmark(model_both_clusters, marbl_thicket)
+
+    lines = []
+    series = {}
+    for arch, (sub, model) in models.items():
+        lines.append(f"{arch} Extra-P model: {model}   "
+                     f"(R2={model.r_squared:.4f}, SMAPE={model.smape:.2f}%)")
+        ranks = np.array(sorted({
+            int(v) for v in sub.metadata.column("mpi.world.size")}))
+        series[f"{arch} model"] = (
+            list(np.linspace(36, 3456, 40)),
+            list(model.evaluate(np.linspace(36, 3456, 40))),
+        )
+    (output_dir / "fig11_extrap_models.txt").write_text("\n".join(lines))
+    line_plot_svg(series, xlabel="nprocs", ylabel="Avg time/rank_mean (s)",
+                  title="Fig 11: Extra-P models of M_solver->Mult"
+                  ).save(output_dir / "fig11_extrap.svg")
+
+    cts_model = models["CTS"][1]
+    aws_model = models["AWS"][1]
+
+    # paper: both models are a + b·p^(1/3) with b < 0
+    assert cts_model.term == Term("1/3")
+    assert aws_model.term == Term("1/3")
+    assert cts_model.coefficient < 0 and aws_model.coefficient < 0
+
+    # paper magnitudes: CTS ~ 200 - 18.3 p^(1/3), AWS ~ 155 - 14.0 p^(1/3)
+    assert 160 < cts_model.intercept < 240
+    assert 120 < aws_model.intercept < 190
+    assert aws_model.intercept < cts_model.intercept
+
+    # paper: the solver is faster on AWS across the whole range
+    for p in (36, 144, 576, 1152, 2304):
+        assert aws_model.evaluate(p) < cts_model.evaluate(p)
+
+    # models fit the measurements well
+    assert cts_model.r_squared > 0.95
+    assert aws_model.r_squared > 0.95

@@ -1,0 +1,74 @@
+"""Fig. 12 — heatmap + histogram outlier exploration.
+
+Paper: the heatmap of Retiring_std / Backend bound_std / time (exc)_std
+flags Polybench_GESUMMV and Lcals_HYDRO_1D as outliers; histograms of
+those nodes' per-profile distributions are then inspected.
+"""
+
+from repro.core import stats
+from repro.viz import (
+    find_outlier_cells,
+    heatmap_svg,
+    heatmap_text,
+    histogram_svg,
+    histogram_text,
+    node_metric_values,
+)
+
+from conftest import FIG9_KERNELS
+
+STAT_COLUMNS = ["Retiring", "Backend bound", "time (exc)"]
+
+
+def build_heatmap(tk):
+    for col in ("Retiring_std", "Backend bound_std", "time (exc)_std"):
+        if col in tk.statsframe:
+            break
+    else:
+        stats.std(tk, STAT_COLUMNS)
+    kernel_rows = [i for i, n in enumerate(tk.statsframe.index.values)
+                   if n.frame.name in FIG9_KERNELS]
+    view = tk.statsframe.take(kernel_rows)
+    return heatmap_text(view, ["Retiring_std", "Backend bound_std",
+                               "time (exc)_std"]), view
+
+
+def test_fig12_heatmap_histogram(benchmark, raja_10rep_thicket, output_dir):
+    tk = raja_10rep_thicket
+    text, view = benchmark(build_heatmap, tk)
+    (output_dir / "fig12_heatmap.txt").write_text(text)
+    heatmap_svg(view, ["Retiring_std", "Backend bound_std", "time (exc)_std"],
+                title="Fig 12: std-dev heatmap").save(
+        output_dir / "fig12_heatmap.svg")
+
+    # outlier detection surfaces nodes with extreme variability; the
+    # two top-down columns flag the branchy kernels like the paper's
+    # GESUMMV / HYDRO_1D insets
+    cells = find_outlier_cells(view, ["Retiring_std", "Backend bound_std",
+                                      "time (exc)_std"], threshold=0.99)
+    outlier_nodes = {name for name, _, _ in cells}
+    assert outlier_nodes  # at least one extreme cell per column
+    assert len(outlier_nodes) <= 3  # outliers, not everything
+
+    # drill into the flagged nodes with histograms (Fig. 12 insets)
+    for node_name in sorted(outlier_nodes):
+        values = node_metric_values(tk, node_name, "time (exc)")
+        assert len(values) == 10
+        hist_text = histogram_text(values, bins=5, title=node_name)
+        assert node_name in hist_text
+        histogram_svg(values, bins=5, title=node_name).save(
+            output_dir / f"fig12_hist_{node_name}.svg")
+
+    # the histogram values for an outlier really do span a wider
+    # *relative* range than a typical node's
+    import numpy as np
+
+    spreads = {
+        name: float(np.std(node_metric_values(tk, name, "time (exc)"))
+                    / np.mean(node_metric_values(tk, name, "time (exc)")))
+        for name in FIG9_KERNELS
+    }
+    time_outliers = {name for name, col, _ in cells
+                     if col == "time (exc)_std"}
+    for name in time_outliers:
+        assert spreads[name] >= np.percentile(list(spreads.values()), 50)

@@ -1,0 +1,68 @@
+"""Fig. 13 — the RAJA Performance Suite experiment configuration table.
+
+Paper: five configurations — Quartz sequential clang/gcc (160 profiles
+each across 4 sizes × 4 -O levels), Quartz OpenMP clang/gcc (40 each),
+Lassen CUDA (160 across 4 sizes × 4 block sizes) — 560 profiles total.
+"""
+
+import json
+
+from repro import Thicket
+from repro.workloads import (
+    RAJA_CAMPAIGN,
+    iter_raja_profiles,
+    raja_campaign_table,
+)
+
+
+def build_table():
+    return raja_campaign_table()
+
+
+def test_fig13_campaign_table(benchmark, output_dir):
+    rows = benchmark(build_table)
+    (output_dir / "fig13_raja_campaign.json").write_text(
+        json.dumps(rows, indent=1))
+
+    # paper's exact profile counts per row and total
+    assert [r["#profiles"] for r in rows] == [160, 160, 40, 40, 160]
+    assert sum(r["#profiles"] for r in rows) == 560
+
+    # row shapes
+    assert rows[0]["cluster"] == "quartz"
+    assert rows[0]["systype"] == "toss_3_x86_64_ib"
+    assert rows[0]["compiler"] == "clang++-9.0.0"
+    assert rows[0]["compiler optimizations"] == ["-O0", "-O1", "-O2", "-O3"]
+    assert rows[0]["RAJA variant"] == "Sequential"
+    assert rows[1]["compiler"] == "g++-8.3.1"
+    assert rows[2]["omp num threads"] == 72
+    assert rows[2]["RAJA variant"] == "OpenMP"
+    assert rows[4]["cluster"] == "lassen"
+    assert rows[4]["systype"] == "blueos_3_ppc64le_ib_p9"
+    assert rows[4]["block sizes"] == [128, 256, 512, 1024]
+    assert rows[4]["cuda compiler"] == "nvcc-11.2.152"
+
+    # every size appears in every configuration
+    for r in rows:
+        assert r["build problem size"] == [1048576, 2097152, 4194304,
+                                           8388608]
+
+
+def test_fig13_campaign_generates_declared_counts(output_dir):
+    """Running a scaled campaign yields exactly the declared profiles."""
+    profiles = list(iter_raja_profiles(scale=0.1, kernels=["Stream_DOT"]))
+    expected = sum(
+        len(c.problem_sizes) * len(c.opt_levels) * max(len(c.block_sizes), 1)
+        for c in RAJA_CAMPAIGN
+    )
+    assert len(profiles) == expected
+
+    # and they compose into one thicket spanning all dimensions
+    from repro.readers import read_cali_dict
+    from repro.caliper import profile_to_cali_dict
+
+    tk = Thicket.from_caliperreader(
+        [read_cali_dict(profile_to_cali_dict(p)) for p in profiles])
+    assert len(tk.profile) == expected
+    assert set(tk.metadata.column("variant")) == {
+        "Sequential", "OpenMP", "CUDA"}

@@ -1,0 +1,68 @@
+"""Fig. 14 — the tree+table top-down visualization across problem sizes.
+
+Paper: stacked bars of the four top-down categories, grouped by problem
+size (1048576 → 8388608).  The qualitative findings asserted here:
+
+* ``Apps_VOL3D`` is the most compute-bound (highest retiring share);
+* ``Apps_NODAL_ACCUMULATION_3D`` is heavily backend bound, and more so
+  as the problem size grows;
+* ``Lcals_HYDRO_1D`` and ``Stream_DOT`` are similarly backend bound,
+  increasing with problem size (data saturation).
+"""
+
+import pytest
+
+from repro.viz import topdown_svg, topdown_table, topdown_text
+
+from conftest import FIG4_KERNELS, PROBLEM_SIZES
+
+
+def build_table(tk):
+    return topdown_table(tk, "problem_size", nodes=FIG4_KERNELS)
+
+
+def test_fig14_topdown_view(benchmark, raja_topdown_thicket, output_dir):
+    tk = raja_topdown_thicket
+    table = benchmark(build_table, tk)
+
+    (output_dir / "fig14_topdown.txt").write_text(
+        topdown_text(tk, "problem_size", nodes=FIG4_KERNELS))
+    topdown_svg(tk, "problem_size", nodes=FIG4_KERNELS).save(
+        output_dir / "fig14_topdown.svg")
+
+    # every kernel has a bar per problem size, fractions summing to 1
+    for kernel in FIG4_KERNELS:
+        assert list(table[kernel].keys()) == list(PROBLEM_SIZES)
+        for fractions in table[kernel].values():
+            assert sum(fractions.values()) == pytest.approx(1.0, abs=0.02)
+
+    big = PROBLEM_SIZES[-1]
+
+    # VOL3D the most retiring at every size
+    for size in PROBLEM_SIZES:
+        vol3d_ret = table["Apps_VOL3D"][size]["Retiring"]
+        for other in FIG4_KERNELS:
+            if other != "Apps_VOL3D":
+                assert vol3d_ret > table[other][size]["Retiring"]
+
+    # NODAL_ACCUMULATION_3D heavily backend bound as size increases
+    # (monotone up to measurement jitter once the cache saturates)
+    nodal = [table["Apps_NODAL_ACCUMULATION_3D"][s]["Backend bound"]
+             for s in PROBLEM_SIZES]
+    assert all(b >= a - 0.005 for a, b in zip(nodal, nodal[1:]))
+    assert nodal[-1] > max(nodal[0], 0.75)
+
+    # HYDRO_1D and Stream_DOT similarly backend bound, growing with size
+    for kernel in ("Lcals_HYDRO_1D", "Stream_DOT"):
+        fracs = [table[kernel][s]["Backend bound"] for s in PROBLEM_SIZES]
+        assert all(b >= a - 0.005 for a, b in zip(fracs, fracs[1:]))
+        assert fracs[-1] > 0.8
+    hydro = table["Lcals_HYDRO_1D"][big]["Backend bound"]
+    dot = table["Stream_DOT"][big]["Backend bound"]
+    assert abs(hydro - dot) < 0.08  # "similarly backend bound"
+
+    # frontend bound + bad speculation are the <10% the paper omits
+    for kernel in FIG4_KERNELS:
+        for size in PROBLEM_SIZES:
+            assert table[kernel][size]["Frontend bound"] < 0.10
+            assert table[kernel][size]["Bad speculation"] < 0.10

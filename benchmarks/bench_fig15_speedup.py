@@ -1,0 +1,92 @@
+"""Fig. 15 — composed CPU/top-down/GPU/NCU table with derived speedup.
+
+Paper values at problem size 8388608:
+
+=================  ==========  ============  ========
+metric             Apps_VOL3D  Lcals_HYDRO_1D
+=================  ==========  ============  ========
+time (exc)  [CPU]  0.499       2.078
+Retiring           0.378       0.033
+Backend bound      0.541       0.910
+time (gpu)  [GPU]  0.041       0.243
+speedup            12.24       8.55
+=================  ==========  ============  ========
+
+Asserted shape: speedup(VOL3D) > speedup(HYDRO_1D), both in the
+5–20× band; HYDRO_1D ~90% backend bound vs VOL3D's retiring/backend
+split; NCU shows HYDRO_1D at its DRAM ceiling with tiny SM throughput.
+"""
+
+import numpy as np
+
+from repro import concat_thickets
+from repro.frame import to_csv
+from repro.workloads import NCU_METRICS, generate_ncu_report
+
+KERNELS = ["Apps_VOL3D", "Lcals_HYDRO_1D"]
+SIZE = 8388608
+
+
+def compose_with_speedup(cpu_gpu_thickets):
+    cpu, gpu = cpu_gpu_thickets
+    tk = concat_thickets([cpu, gpu], axis="columns",
+                         headers=["CPU", "GPU"],
+                         metadata_key="problem_size", match_on="name")
+    report = generate_ncu_report(SIZE, seed=7)
+    for metric in NCU_METRICS:
+        tk.dataframe[("GPU Nsight Compute", metric)] = [
+            report.get(t[0].frame.name, {}).get(metric, np.nan)
+            for t in tk.dataframe.index.values
+        ]
+    cpu_t = tk.dataframe.column(("CPU", "time (exc)")).astype(float)
+    gpu_t = tk.dataframe.column(("GPU", "time (gpu)")).astype(float)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        tk.dataframe[("Derived", "speedup")] = cpu_t / gpu_t
+    return tk
+
+
+def test_fig15_multiarch_speedup(benchmark, cpu_gpu_thickets, output_dir):
+    tk = benchmark(compose_with_speedup, cpu_gpu_thickets)
+
+    rows = {t[0].frame.name: i
+            for i, t in enumerate(tk.dataframe.index.values)
+            if t[0].frame.name in KERNELS and t[1] == SIZE}
+    view = tk.dataframe.take([rows[k] for k in KERNELS]).select([
+        ("CPU", "time (exc)"), ("CPU", "Bytes/Rep"), ("CPU", "Flops/Rep"),
+        ("CPU", "Retiring"), ("CPU", "Backend bound"),
+        ("GPU", "time (gpu)")] + [
+        ("GPU Nsight Compute", m) for m in NCU_METRICS] + [
+        ("Derived", "speedup")])
+    to_csv(view, output_dir / "fig15_speedup_table.csv")
+    (output_dir / "fig15_speedup_table.txt").write_text(view.to_string())
+    from repro.viz import table_svg
+
+    table_svg(view, title="Fig 15: multi-architecture table + speedup"
+              ).save(output_dir / "fig15_speedup_table.svg")
+
+    def cell(kernel, col):
+        return float(view.column(col)[KERNELS.index(kernel)])
+
+    # CPU times land near the paper's 0.499 / 2.078 s
+    assert 0.25 < cell("Apps_VOL3D", ("CPU", "time (exc)")) < 1.0
+    assert 1.0 < cell("Lcals_HYDRO_1D", ("CPU", "time (exc)")) < 4.0
+
+    # top-down split: HYDRO ~90% backend; VOL3D's retiring much larger
+    assert cell("Lcals_HYDRO_1D", ("CPU", "Backend bound")) > 0.80
+    assert cell("Apps_VOL3D", ("CPU", "Retiring")) > \
+        5 * cell("Lcals_HYDRO_1D", ("CPU", "Retiring"))
+
+    # derived speedups: VOL3D ≈ 12, HYDRO ≈ 8.5; VOL3D clearly bigger
+    sp_vol3d = cell("Apps_VOL3D", ("Derived", "speedup"))
+    sp_hydro = cell("Lcals_HYDRO_1D", ("Derived", "speedup"))
+    assert sp_vol3d > sp_hydro
+    assert 7.0 < sp_vol3d < 20.0
+    assert 5.0 < sp_hydro < 13.0
+
+    # NCU signature: HYDRO at the DRAM ceiling with single-digit SM%
+    assert cell("Lcals_HYDRO_1D",
+                ("GPU Nsight Compute", "gpu__dram_throughput")) > 80.0
+    assert cell("Lcals_HYDRO_1D",
+                ("GPU Nsight Compute", "sm__throughput")) < 15.0
+    assert cell("Apps_VOL3D", ("GPU Nsight Compute", "sm__throughput")) > \
+        2 * cell("Lcals_HYDRO_1D", ("GPU Nsight Compute", "sm__throughput"))

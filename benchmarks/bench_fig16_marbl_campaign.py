@@ -1,0 +1,46 @@
+"""Fig. 16 — the MARBL experiment configuration table.
+
+Paper: two configurations — AWS ParallelCluster with Intel MPI and
+RZTopaz with OpenMPI — each covering 1..32 nodes (36..1152 ranks),
+30 profiles per row (6 node counts × 5 repetitions).
+"""
+
+import json
+
+from repro import Thicket
+from repro.caliper import profile_to_cali_dict
+from repro.readers import read_cali_dict
+from repro.workloads import iter_marbl_profiles, marbl_campaign_table
+
+
+def build_table():
+    return marbl_campaign_table()
+
+
+def test_fig16_campaign_table(benchmark, output_dir):
+    rows = benchmark(build_table)
+    (output_dir / "fig16_marbl_campaign.json").write_text(
+        json.dumps(rows, indent=1))
+
+    assert len(rows) == 2
+    assert [r["#profiles"] for r in rows] == [30, 30]
+
+    aws, cts = rows
+    assert aws["cluster"].startswith("ip-")    # the AWS instance hostname
+    assert aws["mpi"] == "impi"
+    assert cts["cluster"] == "rztopaz"
+    assert cts["mpi"] == "openmpi"
+    for r in rows:
+        assert r["numhosts"] == [1, 2, 4, 8, 16, 32]
+        assert r["mpi.world.size"] == [36, 72, 144, 288, 576, 1152]
+        assert r["ccompiler"].endswith("clang-9.0.0")
+        assert r["version"].startswith("v1.1.0")
+
+
+def test_fig16_campaign_loads_into_thicket():
+    profiles = list(iter_marbl_profiles(scale=0.2))
+    tk = Thicket.from_caliperreader(
+        [read_cali_dict(profile_to_cali_dict(p)) for p in profiles])
+    assert len(tk.profile) == 12  # 2 clusters x 6 node counts x 1 rep
+    assert set(tk.metadata.column("mpi")) == {"impi", "openmpi"}
+    assert set(tk.metadata.column("numhosts")) == {1, 2, 4, 8, 16, 32}

@@ -1,0 +1,82 @@
+"""Fig. 17 — MARBL 3D triple-point strong scaling.
+
+Paper: node-to-node strong scaling of timeStepLoop's time per cycle on
+C5n.18xlarge (Intel MPI) and CTS-1 (OpenMPI); each point averages five
+runs.  Both scale well (near the ideal −1 slope) to 16 nodes, and the
+AWS curve is consistently below the CTS curve.
+"""
+
+import numpy as np
+
+from repro.frame import DataFrame, to_csv
+from repro.viz import scaling_plot_svg
+
+from conftest import MARBL_NODE_COUNTS
+
+
+def scaling_series(marbl_thicket):
+    """cluster label → (nodes, mean time-per-cycle, std) from the thicket."""
+    loop = marbl_thicket.get_node("timeStepLoop")
+    node_of = {
+        pid: row["numhosts"] for pid, row in marbl_thicket.metadata.iterrows()
+    }
+    mpi_of = {
+        pid: row["mpi"] for pid, row in marbl_thicket.metadata.iterrows()
+    }
+    acc: dict[str, dict[int, list[float]]] = {}
+    col = marbl_thicket.dataframe.column("time per cycle (inc)")
+    for i, t in enumerate(marbl_thicket.dataframe.index.values):
+        if t[0] is not loop:
+            continue
+        v = col[i]
+        if v is None or (isinstance(v, float) and np.isnan(v)):
+            continue
+        label = ("C5n.18xlarge-IntelMPI" if mpi_of[t[1]] == "impi"
+                 else "CTS1-OpenMPI")
+        acc.setdefault(label, {}).setdefault(int(node_of[t[1]]), []).append(
+            float(v))
+    series = {}
+    for label, by_nodes in acc.items():
+        nodes = sorted(by_nodes)
+        series[label] = (
+            nodes,
+            [float(np.mean(by_nodes[n])) for n in nodes],
+            [float(np.std(by_nodes[n])) for n in nodes],
+        )
+    return series
+
+
+def test_fig17_strong_scaling(benchmark, marbl_thicket, output_dir):
+    series = benchmark(scaling_series, marbl_thicket)
+
+    table = DataFrame({
+        "cluster": [lbl for lbl in series for _ in series[lbl][0]],
+        "nodes": [n for lbl in series for n in series[lbl][0]],
+        "time_per_cycle_mean": [v for lbl in series for v in series[lbl][1]],
+        "time_per_cycle_std": [v for lbl in series for v in series[lbl][2]],
+    })
+    to_csv(table, output_dir / "fig17_strong_scaling.csv")
+    scaling_plot_svg(
+        {lbl: (s[0], s[1]) for lbl, s in series.items()},
+        title="Fig 17: MARBL Triple-Pt-3D strong scaling",
+    ).save(output_dir / "fig17_strong_scaling.svg")
+
+    assert set(series) == {"C5n.18xlarge-IntelMPI", "CTS1-OpenMPI"}
+    for label, (nodes, means, stds) in series.items():
+        assert nodes == list(MARBL_NODE_COUNTS)
+        # monotone decrease with node count
+        assert all(b < a for a, b in zip(means, means[1:]))
+        # near-ideal down to 16 nodes: efficiency t1/(n·tn) > 0.7
+        t1 = means[0]
+        for n, tn in zip(nodes, means):
+            if n <= 16:
+                assert t1 / (n * tn) > 0.7
+        # the curve departs from ideal by 64 nodes (the paper's knee)
+        t64 = means[nodes.index(64)]
+        assert t1 / (64 * t64) < 0.8
+
+    # AWS consistently below CTS
+    aws = series["C5n.18xlarge-IntelMPI"][1]
+    cts = series["CTS1-OpenMPI"][1]
+    for a, c in zip(aws, cts):
+        assert a < c

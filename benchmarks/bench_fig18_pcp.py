@@ -1,0 +1,78 @@
+"""Fig. 18 — parallel-coordinate + scatter metadata visualization.
+
+Paper: the PCP over (arch, mpi.world.size, walltime, num_elems_max)
+colored by architecture shows (a) criss-crossing between
+mpi.world.size and walltime — more ranks ↔ lower runtime — and
+(b) AWS consistently below RZTopaz; the scatterplots relate metadata
+(elements per rank) to the measured timeStepLoop metric.
+"""
+
+import numpy as np
+
+from repro.frame import DataFrame, to_csv
+from repro.viz import (
+    crossing_fraction,
+    parallel_coordinates_svg,
+    scatter_svg,
+)
+
+PCP_COLUMNS = ["arch", "mpi.world.size", "walltime", "num_elems_max"]
+
+
+def build_pcp_frame(marbl_thicket) -> DataFrame:
+    meta = marbl_thicket.metadata
+    return meta.select([c for c in PCP_COLUMNS if c in meta])
+
+
+def test_fig18_pcp(benchmark, marbl_thicket, output_dir):
+    frame = benchmark(build_pcp_frame, marbl_thicket)
+    to_csv(frame, output_dir / "fig18_pcp_data.csv")
+    parallel_coordinates_svg(frame, PCP_COLUMNS, color_by="arch",
+                             title="Fig 18: MARBL metadata PCP").save(
+        output_dir / "fig18_pcp.svg")
+
+    # inverse correlation: heavy criss-crossing between ranks and walltime
+    assert crossing_fraction(frame, "mpi.world.size", "walltime") > 0.5
+    # elements per rank and ranks are also inversely related (sanity)
+    assert crossing_fraction(frame, "mpi.world.size", "num_elems_max") > 0.9
+    # parallel lines between ranks and elements/rank inverse: walltime and
+    # num_elems_max move together (few crossings)
+    assert crossing_fraction(frame, "num_elems_max", "walltime") < 0.3
+
+    # statistical check of the same signal
+    ranks = frame.column("mpi.world.size").astype(float)
+    wall = frame.column("walltime").astype(float)
+    r = np.corrcoef(np.log(ranks), np.log(wall))[0, 1]
+    assert r < -0.9
+
+    # AWS consistently lower walltime at matched rank counts
+    arch = frame.column("arch")
+    for n in sorted(set(ranks)):
+        aws = wall[(ranks == n) & (arch == "C5n.18xlarge")]
+        cts = wall[(ranks == n) & (arch == "CTS1")]
+        assert aws.mean() < cts.mean()
+
+
+def test_fig18_scatterplots(marbl_thicket, output_dir):
+    """The two scatter views: metadata-vs-metric and metric-vs-metric."""
+    tk = marbl_thicket
+    loop = tk.get_node("timeStepLoop")
+    meta = {pid: row for pid, row in tk.metadata.iterrows()}
+
+    xs, ys, archs = [], [], []
+    col = tk.dataframe.column("time per cycle (inc)")
+    for i, t in enumerate(tk.dataframe.index.values):
+        if t[0] is loop and np.isfinite(col[i]):
+            xs.append(float(meta[t[1]]["num_elems_max"]))
+            ys.append(float(col[i]))
+            archs.append(meta[t[1]]["arch"])
+
+    scatter_svg(xs, ys, colors_by=archs,
+                xlabel="num_elems_max",
+                ylabel="timeStepLoop time per cycle (s)",
+                title="Fig 18 (left): metadata vs measured metric").save(
+        output_dir / "fig18_scatter_meta_vs_metric.svg")
+
+    # more elements per rank -> more time (positive relation)
+    r = np.corrcoef(np.log(xs), np.log(ys))[0, 1]
+    assert r > 0.9

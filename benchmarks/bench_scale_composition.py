@@ -1,0 +1,79 @@
+"""Scale benchmark: composing ensembles of growing size.
+
+Not a paper figure, but the operation every figure starts from: join
+N profiles into one thicket.  The paper's largest campaign is 560
+profiles (Fig. 13); we time composition at three ensemble sizes to
+document how the union + row-concat path scales, and sanity-check that
+row counts grow linearly.
+"""
+
+import pytest
+
+from repro import Thicket
+from repro.caliper import profile_to_cali_dict
+from repro.readers import read_cali_dict
+from repro.workloads import QUARTZ, generate_rajaperf_profile
+
+KERNELS = ["Stream_DOT", "Stream_TRIAD", "Apps_VOL3D", "Lcals_HYDRO_1D",
+           "Polybench_GESUMMV", "Basic_DAXPY"]
+
+
+def make_gfs(n: int):
+    gfs = []
+    for i in range(n):
+        prof = generate_rajaperf_profile(
+            QUARTZ, 1048576 * (1 + i % 4), kernels=KERNELS,
+            seed=9000 + i, metadata={"rep": i})
+        gfs.append(read_cali_dict(profile_to_cali_dict(prof)))
+    return gfs
+
+
+@pytest.fixture(scope="module")
+def small():
+    return make_gfs(10)
+
+
+@pytest.fixture(scope="module")
+def medium():
+    return make_gfs(60)
+
+
+@pytest.fixture(scope="module")
+def large():
+    return make_gfs(240)
+
+
+def compose(gfs):
+    return Thicket.from_caliperreader(gfs)
+
+
+def test_bench_compose_10(benchmark, small):
+    tk = benchmark(compose, small)
+    assert len(tk.profile) == 10
+
+
+def test_bench_compose_60(benchmark, medium):
+    tk = benchmark(compose, medium)
+    assert len(tk.profile) == 60
+
+
+def test_bench_compose_240(benchmark, large):
+    tk = benchmark(compose, large)
+    assert len(tk.profile) == 240
+    # row count grows linearly with the ensemble
+    assert len(tk.dataframe) == len(tk.graph) * 240
+
+
+def test_bench_stats_on_large_ensemble(benchmark, large):
+    from repro.core import stats
+
+    tk = compose(large)
+
+    def compute():
+        out = tk.copy()
+        stats.mean(out, ["time (exc)"])
+        stats.std(out, ["time (exc)"])
+        return out
+
+    out = benchmark(compute)
+    assert "time (exc)_std" in out.statsframe

@@ -1,0 +1,63 @@
+"""Scale benchmark: the query engine on wide union trees.
+
+The CUDA case study's union tree carries one leaf per (kernel, tuning
+variant); with the full campaign that's hundreds of leaves.  We time
+the paper's Fig. 8 query on the union of all 4 block-size ensembles
+at increasing tree widths.
+"""
+
+import pytest
+
+from repro import QueryMatcher, Thicket
+from repro.caliper import profile_to_cali_dict
+from repro.query.dialect import parse_string_dialect
+from repro.readers import read_cali_dict
+from repro.workloads import LASSEN_GPU, generate_rajaperf_profile
+
+
+@pytest.fixture(scope="module")
+def cuda_union_thicket():
+    """16 CUDA profiles: 4 block sizes × 4 problem sizes → wide union."""
+    gfs = []
+    seed = 0
+    for bs in (128, 256, 512, 1024):
+        for size in (1048576, 2097152, 4194304, 8388608):
+            seed += 1
+            prof = generate_rajaperf_profile(
+                LASSEN_GPU, size, variant="CUDA", block_size=bs,
+                seed=700 + seed)
+            gfs.append(read_cali_dict(profile_to_cali_dict(prof)))
+    return Thicket.from_caliperreader(gfs)
+
+
+FLUENT = (QueryMatcher()
+          .match(".", lambda row: row["name"].apply(
+              lambda x: x == "Base_CUDA").all())
+          .rel("*")
+          .rel(".", lambda row: row["name"].apply(
+              lambda x: x.endswith("block_128")).all()))
+
+STRING = ('MATCH (".", p)->("*")->(".", q) '
+          'WHERE p."name" = "Base_CUDA" AND q."name" =~ ".*block_128"')
+
+
+def test_bench_query_fluent(benchmark, cuda_union_thicket):
+    out = benchmark(cuda_union_thicket.query, FLUENT)
+    leaves = {n.frame.name for n in out.graph if not n.children}
+    assert leaves and all(n.endswith("block_128") for n in leaves)
+
+
+def test_bench_query_string_dialect(benchmark, cuda_union_thicket):
+    def run():
+        return cuda_union_thicket.query(parse_string_dialect(STRING))
+
+    out = benchmark(run)
+    leaves = {n.frame.name for n in out.graph if not n.children}
+    assert leaves and all(n.endswith("block_128") for n in leaves)
+
+
+def test_bench_query_results_agree(cuda_union_thicket):
+    fluent = cuda_union_thicket.query(FLUENT)
+    string = cuda_union_thicket.query(parse_string_dialect(STRING))
+    assert ({n.frame.name for n in fluent.graph}
+            == {n.frame.name for n in string.graph})

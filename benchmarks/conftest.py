@@ -1,0 +1,160 @@
+"""Shared fixtures for the per-figure benchmark harness.
+
+Campaign data is generated once per session at a reduced (but
+statistically meaningful) repetition scale; each ``bench_figXX``
+module both times the Thicket operation behind the figure and asserts
+the paper's qualitative result, writing the regenerated rows/series
+under ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro import Thicket
+from repro.readers import read_cali_dict
+from repro.caliper import profile_to_cali_dict
+from repro.workloads import (
+    AWS_PARALLELCLUSTER,
+    LASSEN_GPU,
+    QUARTZ,
+    RZTOPAZ,
+    generate_marbl_profile,
+    generate_rajaperf_profile,
+)
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+FIG4_KERNELS = [
+    "Apps_NODAL_ACCUMULATION_3D",
+    "Apps_VOL3D",
+    "Lcals_HYDRO_1D",
+    "Stream_DOT",
+]
+FIG9_KERNELS = FIG4_KERNELS + ["Polybench_GESUMMV"]
+PROBLEM_SIZES = (1048576, 2097152, 4194304, 8388608)
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def gf_of(profile):
+    return read_cali_dict(profile_to_cali_dict(profile))
+
+
+@pytest.fixture(scope="session")
+def raja_4profile_thicket():
+    """Fig. 5-7's ensemble: 2 compilers x 2 problem sizes on 2 clusters."""
+    from repro.workloads import LASSEN_CPU
+
+    gfs = []
+    specs = [
+        (QUARTZ, "clang++-9.0.0", 1048576, "2022-11-30 02:09:27", "John"),
+        (LASSEN_CPU, "xlc++-16.1.1.12", 4194304, "2022-11-16 00:53:01", "John"),
+        (LASSEN_CPU, "xlc++-16.1.1.12", 1048576, "2022-11-16 00:45:08", "Jane"),
+        (QUARTZ, "clang++-9.0.0", 4194304, "2022-11-30 02:17:27", "John"),
+    ]
+    for i, (machine, compiler, size, date, user) in enumerate(specs):
+        prof = generate_rajaperf_profile(
+            machine, size, compiler=compiler, kernels=FIG9_KERNELS,
+            topdown=(machine is QUARTZ), seed=40 + i,
+            metadata={"launchdate": date, "user": user},
+        )
+        gfs.append(gf_of(prof))
+    return Thicket.from_caliperreader(gfs)
+
+
+@pytest.fixture(scope="session")
+def raja_10rep_thicket():
+    """Fig. 9/12's ensemble: 10 repetitions of one configuration."""
+    gfs = []
+    for rep in range(10):
+        prof = generate_rajaperf_profile(
+            QUARTZ, 4194304, opt_level=2, kernels=FIG9_KERNELS,
+            topdown=True, seed=100 + rep, noise=0.12,
+            metadata={"rep": rep},
+        )
+        gfs.append(gf_of(prof))
+    return Thicket.from_caliperreader(gfs)
+
+
+@pytest.fixture(scope="session")
+def raja_topdown_thicket():
+    """Fig. 14's ensemble: 10 profiles per problem size on Quartz."""
+    gfs = []
+    seed = 200
+    for size in PROBLEM_SIZES:
+        for rep in range(10):
+            seed += 1
+            prof = generate_rajaperf_profile(
+                QUARTZ, size, opt_level=2, kernels=FIG4_KERNELS,
+                topdown=True, seed=seed, metadata={"rep": rep},
+            )
+            gfs.append(gf_of(prof))
+    return Thicket.from_caliperreader(gfs)
+
+
+@pytest.fixture(scope="session")
+def raja_optlevel_thicket():
+    """Fig. 10's ensemble: size 8388608, -O0..-O3 on Quartz."""
+    gfs = []
+    for opt in (0, 1, 2, 3):
+        prof = generate_rajaperf_profile(
+            QUARTZ, 8388608, opt_level=opt, topdown=True, seed=300 + opt,
+            noise=0.01,
+        )
+        gfs.append(gf_of(prof))
+    return Thicket.from_caliperreader(gfs, metadata_key="compiler optimizations")
+
+
+@pytest.fixture(scope="session")
+def cpu_gpu_thickets():
+    """Fig. 4/15 inputs: CPU (quartz, topdown) and GPU (lassen CUDA)."""
+    cpu_gfs, gpu_gfs = [], []
+    for i, size in enumerate(PROBLEM_SIZES):
+        cpu = generate_rajaperf_profile(
+            QUARTZ, size, opt_level=2, topdown=True, seed=400 + i)
+        gpu = generate_rajaperf_profile(
+            LASSEN_GPU, size, variant="CUDA", block_size=256, seed=420 + i)
+        cpu_gfs.append(gf_of(cpu))
+        gpu_gfs.append(gf_of(gpu))
+    return (Thicket.from_caliperreader(cpu_gfs),
+            Thicket.from_caliperreader(gpu_gfs))
+
+
+@pytest.fixture(scope="session")
+def cuda_blocksize_thicket():
+    """Fig. 8's ensemble: one CUDA profile per block size."""
+    gfs = []
+    for i, bs in enumerate((128, 256, 512, 1024)):
+        prof = generate_rajaperf_profile(
+            LASSEN_GPU, 4194304, variant="CUDA", block_size=bs, seed=500 + i)
+        gfs.append(gf_of(prof))
+    return Thicket.from_caliperreader(gfs)
+
+
+MARBL_NODE_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+
+
+@pytest.fixture(scope="session")
+def marbl_thicket():
+    """Fig. 11/17/18's ensemble: 2 clusters x 7 node counts x 5 reps."""
+    gfs = []
+    seed = 0
+    for machine, mpi in ((RZTOPAZ, "openmpi"),
+                         (AWS_PARALLELCLUSTER, "impi")):
+        for nodes in MARBL_NODE_COUNTS:
+            for rep in range(5):
+                seed += 1
+                prof = generate_marbl_profile(machine, nodes, rep=rep,
+                                              mpi=mpi, seed=seed)
+                gfs.append(gf_of(prof))
+    return Thicket.from_caliperreader(gfs)

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Fig. 1 workflow end to end, on your laptop.
+
+1. "Run" an instrumented application several times (the measurement
+   substrate records a call tree per run and writes Caliper-style JSON
+   profiles).
+2. Load the ensemble into a Thicket.
+3. Examine the three components: performance data, metadata,
+   aggregated statistics.
+4. Filter / group / query, and render the unified call tree.
+
+Run:  python examples/quickstart.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import QueryMatcher, Thicket
+from repro.caliper import (
+    AdiakCollector,
+    Instrumenter,
+    SyntheticCounterService,
+    write_cali_json,
+)
+from repro.core import stats
+
+
+def run_application(out_dir: Path, run_id: int, problem_size: int) -> Path:
+    """An 'application': annotated regions charging synthetic metrics."""
+    counters = SyntheticCounterService()
+    cali = Instrumenter(services=[counters])
+
+    with cali.region("main"):
+        with cali.region("setup"):
+            counters.charge(**{"time (exc)": 1e-4 * problem_size,
+                               "mem bytes": 8.0 * problem_size})
+        for _ in range(3):
+            with cali.region("timestep"):
+                with cali.region("solve"):
+                    counters.charge(**{"time (exc)": 2e-4 * problem_size,
+                                       "flops": 26.0 * problem_size})
+                with cali.region("exchange"):
+                    counters.charge(**{"time (exc)": 3e-6 * problem_size})
+        with cali.region("io"):
+            counters.charge(**{"time (exc)": 0.02})
+
+    adiak = AdiakCollector(auto=False)
+    adiak.update({"run_id": run_id, "problem_size": problem_size,
+                  "cluster": "laptop", "compiler": "clang-9.0.0"})
+    profile = cali.finish(metadata=adiak.freeze())
+    return write_cali_json(profile, out_dir / f"run_{run_id}.json")
+
+
+def main() -> None:
+    out_dir = Path(tempfile.mkdtemp(prefix="thicket_quickstart_"))
+
+    # Step 1-2 (Fig. 1): run with measurement, produce call tree profiles
+    paths = [
+        run_application(out_dir, run_id, problem_size)
+        for run_id, problem_size in enumerate([1000, 1000, 4000, 4000])
+    ]
+    print(f"wrote {len(paths)} profiles to {out_dir}\n")
+
+    # Step 3: load into a thicket object
+    tk = Thicket.from_caliperreader(paths)
+    print("=== the thicket object ===")
+    print(tk, "\n")
+
+    print("=== metadata (one row per profile) ===")
+    print(tk.metadata.select(["run_id", "problem_size", "cluster"]), "\n")
+
+    print("=== performance data (one row per (node, profile)) ===")
+    print(tk.dataframe.head(8), "\n")
+
+    # Step 4: EDA — aggregated statistics across the ensemble
+    stats.mean(tk, ["time (exc)"])
+    stats.std(tk, ["time (exc)"])
+    print("=== aggregated statistics ===")
+    print(tk.statsframe, "\n")
+
+    print("=== unified call tree (mean exclusive time) ===")
+    print(tk.tree(metric_column="time (exc)_mean", precision=4), "\n")
+
+    # filtering on metadata (paper Fig. 6)
+    big = tk.filter_metadata(lambda m: m["problem_size"] >= 4000)
+    print(f"filter_metadata(problem_size >= 4000) -> "
+          f"{len(big.profile)} profiles")
+
+    # grouping (paper Fig. 7)
+    groups = tk.groupby("problem_size")
+    print(f"groupby(problem_size) -> {list(groups.keys())}")
+
+    # querying the call tree (paper Fig. 8)
+    query = (QueryMatcher()
+             .match(".", lambda row: row["name"].apply(
+                 lambda x: x == "timestep").all())
+             .rel("+"))
+    sub = tk.query(query)
+    print("\n=== query: timestep -> descendants ===")
+    print(sub.tree(metric_column="time (exc)", precision=4))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""repro — a from-scratch reproduction of Thicket (HPDC '23).
+
+Thicket is a Python toolkit for Exploratory Data Analysis of ensembles
+of call-tree performance profiles.  This package re-implements Thicket
+*and* every substrate it depends on (dataframes, the Hatchet call-tree
+model, Caliper-style measurement, Extra-P-style modeling,
+scikit-learn-style clustering, and synthetic RAJA Performance Suite /
+MARBL workloads) using only numpy/scipy.
+
+Quick start::
+
+    from repro import Thicket
+    from repro.workloads import rajaperf_campaign
+
+    profiles = rajaperf_campaign(...)        # synthetic Caliper files
+    tk = Thicket.from_caliperreader(profiles)
+    tk.metadata                               # per-run build/context table
+    tk.dataframe                              # (node, profile) metric table
+"""
+
+__version__ = "1.0.0"
+
+from .core import Thicket, concat_thickets, profile_hash  # noqa: E402
+from .query import QueryMatcher  # noqa: E402
+
+__all__ = ["Thicket", "concat_thickets", "profile_hash", "QueryMatcher", "__version__"]

@@ -1,0 +1,28 @@
+"""``repro.caliper`` — measurement substrate (Caliper/Adiak substitute)."""
+
+from .adiak import AdiakCollector
+from .annotation import Instrumenter, RegionNode, annotate
+from .services import (
+    LoopService,
+    MemoryHighwaterService,
+    MetricService,
+    SyntheticCounterService,
+    TimerService,
+    TopdownService,
+)
+from .writer import profile_to_cali_dict, write_cali_json
+
+__all__ = [
+    "Instrumenter",
+    "RegionNode",
+    "annotate",
+    "AdiakCollector",
+    "MetricService",
+    "LoopService",
+    "MemoryHighwaterService",
+    "TimerService",
+    "SyntheticCounterService",
+    "TopdownService",
+    "profile_to_cali_dict",
+    "write_cali_json",
+]

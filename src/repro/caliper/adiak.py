@@ -1,0 +1,57 @@
+"""Adiak substitute: structured collection of run metadata.
+
+LLNL's Adiak records name→value facts about a run (user, launch date,
+build settings, job size) that Caliper embeds as profile *globals*.
+This module provides the same collect-then-freeze workflow.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import getpass
+import platform
+from typing import Any, Mapping
+
+__all__ = ["AdiakCollector"]
+
+
+class AdiakCollector:
+    """Accumulates run metadata name/value pairs."""
+
+    def __init__(self, auto: bool = True, clock=None):
+        self._values: dict[str, Any] = {}
+        self._clock = clock or (lambda: _dt.datetime.now())
+        if auto:
+            self.collect_environment()
+
+    def value(self, name: str, value: Any) -> None:
+        """Record one fact (last write wins, like adiak_namevalue)."""
+        self._values[name] = value
+
+    def update(self, values: Mapping[str, Any]) -> None:
+        self._values.update(values)
+
+    def collect_environment(self) -> None:
+        """Record the standard implicit facts Adiak gathers."""
+        try:
+            user = getpass.getuser()
+        except Exception:  # pragma: no cover - environment-dependent
+            user = "unknown"
+        self._values.setdefault("user", user)
+        self._values.setdefault("launchdate",
+                                self._clock().strftime("%Y-%m-%d %H:%M:%S"))
+        self._values.setdefault("hostname", platform.node())
+        self._values.setdefault("platform", platform.machine() or "unknown")
+
+    def freeze(self) -> dict[str, Any]:
+        """Immutable snapshot to embed as profile globals."""
+        return dict(self._values)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __getitem__(self, name: str) -> Any:
+        return self._values[name]
+
+    def __len__(self) -> int:
+        return len(self._values)

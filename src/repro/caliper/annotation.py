@@ -1,0 +1,178 @@
+"""Region annotation API (the Caliper instrumentation substitute).
+
+Applications mark regions of interest; nested regions build a call
+tree; registered metric services attribute measurements to the
+innermost open region.  Usage::
+
+    cali = Instrumenter()
+    with cali.region("main"):
+        with cali.region("solve"):
+            ...work...
+    profile = cali.finish()   # -> in-memory profile dict
+
+The produced profile is the same shape the synthetic workload
+generators emit, so real measurement and simulation share the writer
+and reader code paths.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Sequence
+
+__all__ = ["RegionNode", "Instrumenter", "annotate"]
+
+
+class RegionNode:
+    """One node of the measured call tree with accumulated metrics."""
+
+    __slots__ = ("name", "parent", "children", "metrics", "visits")
+
+    def __init__(self, name: str, parent: "RegionNode | None" = None):
+        self.name = name
+        self.parent = parent
+        self.children: dict[str, RegionNode] = {}
+        self.metrics: dict[str, float] = {}
+        self.visits = 0
+
+    def child(self, name: str) -> "RegionNode":
+        node = self.children.get(name)
+        if node is None:
+            node = RegionNode(name, parent=self)
+            self.children[name] = node
+        return node
+
+    def accumulate(self, metrics: dict[str, float]) -> None:
+        for k, v in metrics.items():
+            self.metrics[k] = self.metrics.get(k, 0.0) + v
+
+    def path(self) -> tuple[str, ...]:
+        parts: list[str] = []
+        cur: RegionNode | None = self
+        while cur is not None and cur.parent is not None:  # skip synthetic root
+            parts.append(cur.name)
+            cur = cur.parent
+        return tuple(reversed(parts))
+
+
+class Instrumenter:
+    """Collects a call-tree profile from annotated regions.
+
+    Parameters
+    ----------
+    services:
+        Metric services (see :mod:`repro.caliper.services`); each is
+        asked for a snapshot at region begin/end and the delta is
+        attributed *exclusively* to the region (time spent in nested
+        regions is subtracted out, Caliper's exclusive semantics).
+    """
+
+    def __init__(self, services: Sequence["MetricService"] | None = None):
+        from .services import TimerService
+
+        self.services = list(services) if services is not None else [TimerService()]
+        self._root = RegionNode("<root>")
+        self._stack: list[RegionNode] = [self._root]
+        self._open_snapshots: list[dict[str, float]] = []
+        self._child_costs: list[dict[str, float]] = [dict()]
+
+    # ------------------------------------------------------------------
+    def begin(self, name: str) -> None:
+        node = self._stack[-1].child(name)
+        node.visits += 1
+        self._stack.append(node)
+        self._open_snapshots.append(self._snapshot())
+        self._child_costs.append({})
+
+    def end(self, name: str | None = None) -> None:
+        if len(self._stack) <= 1:
+            raise RuntimeError("end() without matching begin()")
+        node = self._stack.pop()
+        if name is not None and node.name != name:
+            raise RuntimeError(
+                f"region mismatch: ending {name!r} but {node.name!r} is open"
+            )
+        start = self._open_snapshots.pop()
+        child_cost = self._child_costs.pop()
+        now = self._snapshot()
+        inclusive = {k: now[k] - start.get(k, 0.0) for k in now}
+        exclusive = {
+            k: inclusive[k] - child_cost.get(k, 0.0) for k in inclusive
+        }
+        node.accumulate(exclusive)
+        # report our inclusive cost to the parent for its exclusive calc
+        parent_costs = self._child_costs[-1]
+        for k, v in inclusive.items():
+            parent_costs[k] = parent_costs.get(k, 0.0) + v
+
+    @contextmanager
+    def region(self, name: str) -> Iterator[None]:
+        self.begin(name)
+        try:
+            yield
+        finally:
+            self.end(name)
+
+    def instrument(self, name: str | None = None) -> Callable:
+        """Decorator form: ``@cali.instrument()``."""
+
+        def wrap(fn: Callable) -> Callable:
+            region_name = name or fn.__name__
+
+            def wrapper(*args: Any, **kwargs: Any):
+                with self.region(region_name):
+                    return fn(*args, **kwargs)
+
+            wrapper.__name__ = fn.__name__
+            wrapper.__doc__ = fn.__doc__
+            return wrapper
+
+        return wrap
+
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> dict[str, float]:
+        snap: dict[str, float] = {}
+        for svc in self.services:
+            snap.update(svc.snapshot())
+        return snap
+
+    def finish(self, metadata: dict[str, Any] | None = None) -> dict:
+        """Close measurement and emit an in-memory profile.
+
+        Returns the dict structure understood by
+        :func:`repro.caliper.writer.write_cali_json`.
+        """
+        if len(self._stack) != 1:
+            open_regions = [n.name for n in self._stack[1:]]
+            raise RuntimeError(f"unclosed regions at finish(): {open_regions}")
+
+        records: list[dict] = []
+
+        def emit(node: RegionNode, parent_path: tuple[str, ...]) -> None:
+            path = parent_path + (node.name,)
+            rec = {"path": path, "metrics": dict(node.metrics),
+                   "visits": node.visits}
+            records.append(rec)
+            for child in node.children.values():
+                emit(child, path)
+
+        for top in self._root.children.values():
+            emit(top, ())
+        meta = dict(metadata or {})
+        for svc in self.services:
+            meta.update(svc.metadata())
+        return {"records": records, "globals": meta}
+
+
+_default = Instrumenter()
+
+
+@contextmanager
+def annotate(name: str) -> Iterator[None]:
+    """Module-level convenience using a process-wide default instrumenter."""
+    with _default.region(name):
+        yield
+
+
+# imported late to avoid a cycle in type checking
+from .services import MetricService  # noqa: E402  (re-export for typing)

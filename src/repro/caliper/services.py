@@ -1,0 +1,177 @@
+"""Metric services: pluggable measurement sources for the Instrumenter.
+
+A service exposes monotonically accumulating counters via
+``snapshot()``; the Instrumenter differences snapshots at region
+begin/end.  Real wall-clock timing comes from :class:`TimerService`;
+hardware-counter behaviour (the paper collects PAPI counters and Intel
+top-down metrics through Caliper) is simulated by
+:class:`SyntheticCounterService`, which advances counters according to
+a user-supplied cost model — the closest laptop equivalent of a
+counter multiplexing kernel module.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import time
+from typing import Any, Callable, Mapping
+
+__all__ = [
+    "MetricService",
+    "TimerService",
+    "SyntheticCounterService",
+    "TopdownService",
+    "LoopService",
+    "MemoryHighwaterService",
+]
+
+
+class MetricService:
+    """Interface: monotone counter snapshots plus run metadata."""
+
+    def snapshot(self) -> dict[str, float]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def metadata(self) -> dict[str, Any]:
+        return {}
+
+
+class TimerService(MetricService):
+    """Wall-clock time in seconds under the Caliper metric name."""
+
+    metric = "time (exc)"
+
+    def snapshot(self) -> dict[str, float]:
+        return {self.metric: time.perf_counter()}
+
+    def metadata(self) -> dict[str, Any]:
+        return {
+            "hostname": platform.node(),
+            "pid": os.getpid(),
+        }
+
+
+class SyntheticCounterService(MetricService):
+    """Counters advanced explicitly by a simulated workload.
+
+    The workload calls :meth:`charge` with counter increments as it
+    "executes"; the Instrumenter's snapshot differencing then attributes
+    them to the open region exactly as a real PAPI service would.
+    """
+
+    def __init__(self, counters: Mapping[str, float] | None = None):
+        self._counters: dict[str, float] = dict(counters or {})
+
+    def charge(self, **increments: float) -> None:
+        for k, v in increments.items():
+            self._counters[k] = self._counters.get(k, 0.0) + v
+
+    def snapshot(self) -> dict[str, float]:
+        return dict(self._counters)
+
+    def metadata(self) -> dict[str, Any]:
+        return {"counter.service": "synthetic"}
+
+
+class TopdownService(MetricService):
+    """Synthetic Intel top-down counter service.
+
+    Tracks the four pipeline-slot counters from which Yasin's top-level
+    top-down metrics derive (see :mod:`repro.topdown.metrics`).  A cost
+    model callback translates charged "work" into slot counts.
+    """
+
+    SLOTS = (
+        "slots_retiring",
+        "slots_frontend_bound",
+        "slots_backend_bound",
+        "slots_bad_speculation",
+    )
+
+    def __init__(self, cost_model: Callable[[str, float], dict[str, float]] | None = None):
+        self._counters = {slot: 0.0 for slot in self.SLOTS}
+        self._cost_model = cost_model
+
+    def charge_slots(self, retiring: float = 0.0, frontend: float = 0.0,
+                     backend: float = 0.0, bad_speculation: float = 0.0) -> None:
+        self._counters["slots_retiring"] += retiring
+        self._counters["slots_frontend_bound"] += frontend
+        self._counters["slots_backend_bound"] += backend
+        self._counters["slots_bad_speculation"] += bad_speculation
+
+    def charge_work(self, kind: str, amount: float) -> None:
+        if self._cost_model is None:
+            raise RuntimeError("no cost model configured")
+        self.charge_slots(**self._cost_model(kind, amount))
+
+    def snapshot(self) -> dict[str, float]:
+        return dict(self._counters)
+
+    def metadata(self) -> dict[str, Any]:
+        return {"topdown.service": "synthetic", "topdown.level": "top"}
+
+
+class LoopService(MetricService):
+    """Loop-iteration profiling (Caliper's ``loop`` service).
+
+    The instrumented code reports loop progress via :meth:`iteration`;
+    the service accumulates iteration counts so each annotated region's
+    row carries how many iterations executed inside it — the "Reps"
+    column of the suite profiles.
+    """
+
+    metric = "iterations"
+
+    def __init__(self):
+        self._count = 0.0
+
+    def iteration(self, n: int = 1) -> None:
+        """Record *n* completed loop iterations."""
+        if n < 0:
+            raise ValueError("iteration count must be non-negative")
+        self._count += float(n)
+
+    def snapshot(self) -> dict[str, float]:
+        return {self.metric: self._count}
+
+    def metadata(self) -> dict[str, Any]:
+        return {"loop.service": "enabled"}
+
+
+class MemoryHighwaterService(MetricService):
+    """Allocation high-water tracking (Caliper's ``alloc`` service).
+
+    The workload reports allocations/frees; the service tracks the peak
+    outstanding bytes.  Because a high-water mark is not additive, the
+    Instrumenter's snapshot differencing attributes to each region the
+    *growth* of the peak while the region was open — exactly how
+    Caliper's exclusive aggregation reports it.
+    """
+
+    metric = "mem.highwater"
+
+    def __init__(self):
+        self._current = 0.0
+        self._peak = 0.0
+
+    def allocate(self, nbytes: float) -> None:
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        self._current += float(nbytes)
+        self._peak = max(self._peak, self._current)
+
+    def free(self, nbytes: float) -> None:
+        if nbytes < 0:
+            raise ValueError("free size must be non-negative")
+        self._current = max(self._current - float(nbytes), 0.0)
+
+    @property
+    def current_bytes(self) -> float:
+        return self._current
+
+    def snapshot(self) -> dict[str, float]:
+        return {self.metric: self._peak}
+
+    def metadata(self) -> dict[str, Any]:
+        return {"alloc.service": "enabled"}

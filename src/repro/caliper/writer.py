@@ -1,0 +1,88 @@
+"""Writer for the cali-JSON ("json-split") profile format.
+
+This is the on-disk interchange format between measurement and
+analysis, shaped after Caliper's ``json-split`` output that Hatchet's
+Caliper reader consumes:
+
+.. code-block:: json
+
+    {
+      "data":  [[0, 0.2, 100], [1, 0.1, 100]],
+      "columns": ["path", "time (exc)", "Reps"],
+      "column_metadata": [{"is_value": false}, {"is_value": true}, ...],
+      "nodes": [{"label": "main", "column": "path"},
+                {"label": "solve", "column": "path", "parent": 0}],
+      "globals": {"cluster": "quartz", "compiler": "clang-9.0.0"}
+    }
+
+``nodes`` encodes the call tree via parent indices; each data row's
+first cell is the node id it belongs to.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+__all__ = ["write_cali_json", "profile_to_cali_dict"]
+
+
+def profile_to_cali_dict(profile: Mapping[str, Any]) -> dict:
+    """Convert an Instrumenter/workload profile to the json-split dict.
+
+    *profile* has ``records`` (list of ``{"path": tuple, "metrics":
+    dict}``) and ``globals`` (run metadata).
+    """
+    records: Sequence[Mapping] = profile["records"]
+
+    # Collect the full metric column set in first-seen order.
+    metric_cols: dict[str, None] = {}
+    for rec in records:
+        for k in rec["metrics"]:
+            metric_cols.setdefault(k, None)
+    metric_cols = list(metric_cols)
+
+    # Build the node table; paths are unique per profile.
+    node_ids: dict[tuple, int] = {}
+    nodes: list[dict] = []
+
+    def node_id(path: tuple) -> int:
+        known = node_ids.get(path)
+        if known is not None:
+            return known
+        parent = node_id(path[:-1]) if len(path) > 1 else None
+        nid = len(nodes)
+        entry: dict[str, Any] = {"label": path[-1], "column": "path"}
+        if parent is not None:
+            entry["parent"] = parent
+        nodes.append(entry)
+        node_ids[path] = nid
+        return nid
+
+    data = []
+    for rec in records:
+        nid = node_id(tuple(rec["path"]))
+        row: list[Any] = [nid]
+        for col in metric_cols:
+            row.append(rec["metrics"].get(col))
+        data.append(row)
+
+    return {
+        "data": data,
+        "columns": ["path"] + metric_cols,
+        "column_metadata": [{"is_value": False}] + [
+            {"is_value": True} for _ in metric_cols
+        ],
+        "nodes": nodes,
+        "globals": dict(profile.get("globals", {})),
+    }
+
+
+def write_cali_json(profile: Mapping[str, Any], path: str | Path) -> Path:
+    """Write a profile to *path* in json-split format; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = profile_to_cali_dict(profile)
+    path.write_text(json.dumps(payload))
+    return path

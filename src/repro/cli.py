@@ -1,0 +1,189 @@
+"""Command-line interface: quick EDA over a directory of profiles.
+
+The paper's interactive workflows live in notebooks; this CLI covers
+the "quick look before opening a notebook" path::
+
+    python -m repro summarize  profiles/
+    python -m repro metadata   profiles/ --columns compiler,problem_size
+    python -m repro tree       profiles/ --metric "time (exc)" --stat mean
+    python -m repro stats      profiles/ --metrics "time (exc)" \
+                               --functions mean,std
+    python -m repro query      profiles/ --query \
+        'MATCH (".", p)->("*")->(".", q) WHERE q."name" =~ ".*block_128"'
+    python -m repro model      profiles/ --parameter mpi.world.size \
+                               --metric "Avg time/rank"
+    python -m repro scaling    profiles/ --node timeStepLoop \
+                               --metric "time per cycle (inc)"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_thicket(profile_dir: str):
+    from .core.thicket import Thicket
+
+    paths = sorted(Path(profile_dir).glob("*.json"))
+    if not paths:
+        raise SystemExit(f"no *.json profiles found in {profile_dir}")
+    return Thicket.from_caliperreader(paths)
+
+
+def _cmd_summarize(args) -> int:
+    tk = _load_thicket(args.profiles)
+    print(tk)
+    print(f"\nprofiles : {len(tk.profile)}")
+    print(f"nodes    : {len(tk.graph)}")
+    print(f"rows     : {len(tk.dataframe)}")
+    print(f"metrics  : {', '.join(str(c) for c in tk.performance_cols)}")
+    meta_cols = ", ".join(str(c) for c in tk.metadata.columns)
+    print(f"metadata : {meta_cols}")
+    return 0
+
+
+def _cmd_metadata(args) -> int:
+    tk = _load_thicket(args.profiles)
+    meta = tk.metadata
+    if args.columns:
+        wanted = [c.strip() for c in args.columns.split(",")]
+        missing = [c for c in wanted if c not in meta]
+        if missing:
+            raise SystemExit(f"unknown metadata columns: {missing}")
+        meta = meta.select(wanted)
+    print(meta.to_string(max_rows=args.max_rows))
+    return 0
+
+
+def _cmd_tree(args) -> int:
+    from .core import stats as stats_mod
+
+    tk = _load_thicket(args.profiles)
+    metric = args.metric or tk.default_metric
+    if metric is None:
+        raise SystemExit("no metric given and no default available")
+    if args.stat:
+        fn = getattr(stats_mod, args.stat, None)
+        if fn is None:
+            raise SystemExit(f"unknown statistic {args.stat!r}")
+        created = fn(tk, [metric])
+        metric = created[0]
+    print(tk.tree(metric_column=metric, precision=args.precision,
+                  color=args.color))
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from .core import stats as stats_mod
+
+    tk = _load_thicket(args.profiles)
+    metrics = [m.strip() for m in args.metrics.split(",")]
+    functions = [f.strip() for f in args.functions.split(",")]
+    for fn_name in functions:
+        fn = getattr(stats_mod, fn_name, None)
+        if fn is None:
+            raise SystemExit(f"unknown statistic {fn_name!r}")
+        fn(tk, metrics)
+    print(tk.statsframe.to_string(max_rows=args.max_rows))
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from .query.dialect import parse_string_dialect
+
+    tk = _load_thicket(args.profiles)
+    matcher = parse_string_dialect(args.query)
+    out = tk.query(matcher)
+    if not len(out.graph):
+        print("no matches")
+        return 1
+    print(out.tree(metric_column=args.metric or out.default_metric,
+                   precision=args.precision))
+    return 0
+
+
+def _cmd_model(args) -> int:
+    from .model import ExtrapInterface
+
+    tk = _load_thicket(args.profiles)
+    models = ExtrapInterface().model_thicket(tk, args.parameter, args.metric)
+    order = {n: i for i, n in enumerate(tk.graph.traverse())}
+    for node in sorted(models, key=lambda n: order[n]):
+        model = models[node]
+        print(f"{node.frame.name:30s} {model}   "
+              f"(R2={model.r_squared:.3f}, SMAPE={model.smape:.1f}%)")
+    return 0
+
+
+def _cmd_scaling(args) -> int:
+    from .core.scaling import karp_flatt
+
+    tk = _load_thicket(args.profiles)
+    table = karp_flatt(tk, args.node, args.metric,
+                       resource_column=args.resource)
+    print(table.to_string())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Exploratory analysis of call-tree profile ensembles "
+                    "(Thicket reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name, fn, help_text):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("profiles", help="directory of *.json cali profiles")
+        p.set_defaults(fn=fn)
+        return p
+
+    add("summarize", _cmd_summarize, "ensemble overview")
+
+    p = add("metadata", _cmd_metadata, "print the metadata table")
+    p.add_argument("--columns", help="comma-separated column subset")
+    p.add_argument("--max-rows", type=int, default=40)
+
+    p = add("tree", _cmd_tree, "render the unified call tree")
+    p.add_argument("--metric", help="metric column (default: profile default)")
+    p.add_argument("--stat", help="aggregate first (mean, std, median, ...)")
+    p.add_argument("--precision", type=int, default=3)
+    p.add_argument("--color", action="store_true")
+
+    p = add("stats", _cmd_stats, "compute aggregated statistics")
+    p.add_argument("--metrics", required=True,
+                   help="comma-separated metric columns")
+    p.add_argument("--functions", default="mean,std",
+                   help="comma-separated statistics")
+    p.add_argument("--max-rows", type=int, default=40)
+
+    p = add("query", _cmd_query, "run a string-dialect call-path query")
+    p.add_argument("--query", required=True)
+    p.add_argument("--metric")
+    p.add_argument("--precision", type=int, default=3)
+
+    p = add("model", _cmd_model, "fit Extra-P models for every node")
+    p.add_argument("--parameter", required=True,
+                   help="metadata column, e.g. mpi.world.size")
+    p.add_argument("--metric", required=True)
+
+    p = add("scaling", _cmd_scaling, "strong-scaling / Karp-Flatt table")
+    p.add_argument("--node", required=True)
+    p.add_argument("--metric", required=True)
+    p.add_argument("--resource", default="numhosts")
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""``repro.core`` — the Thicket object and its EDA operations."""
+
+from . import regression, scaling, stats
+from .display import display_heatmap, display_histogram
+from .filtering import filter_metadata, filter_profile, filter_stats
+from .io import load_thicket, save_thicket, thicket_from_json, thicket_to_json
+from .groupby import GroupByResult, groupby_metadata
+from .horizontal import concat_thickets
+from .querying import query_thicket
+from .thicket import Thicket, profile_hash
+
+__all__ = [
+    "Thicket",
+    "profile_hash",
+    "concat_thickets",
+    "filter_metadata",
+    "filter_profile",
+    "filter_stats",
+    "groupby_metadata",
+    "GroupByResult",
+    "query_thicket",
+    "stats",
+    "scaling",
+    "regression",
+    "thicket_to_json",
+    "thicket_from_json",
+    "save_thicket",
+    "load_thicket",
+    "display_heatmap",
+    "display_histogram",
+]

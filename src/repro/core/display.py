@@ -1,0 +1,54 @@
+"""Convenience display methods mirroring Thicket's built-in viz API.
+
+The real Thicket exposes ``display_heatmap`` / ``display_histogram``
+wrappers over seaborn (§4.3.1); ours render to ANSI text and/or SVG
+files, passing keyword arguments through to the underlying renderer.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Hashable, Sequence
+
+from ..viz.heatmap import heatmap_svg, heatmap_text
+from ..viz.histogram import histogram_svg, histogram_text, node_metric_values
+
+__all__ = ["display_heatmap", "display_histogram"]
+
+
+def display_heatmap(tk, columns: Sequence[Hashable] | None = None,
+                    svg_path: str | Path | None = None, **kwargs) -> str:
+    """Heatmap of statsframe columns; returns the text rendering.
+
+    *columns* defaults to every non-name statsframe column (i.e.
+    whatever statistics have been computed so far).  With *svg_path*
+    an SVG version is written as well.
+    """
+    if columns is None:
+        columns = [c for c in tk.statsframe.columns if c != "name"]
+    if not columns:
+        raise ValueError(
+            "no statistics computed yet; run e.g. stats.std(tk, [...]) first")
+    text = heatmap_text(tk.statsframe, columns,
+                        **{k: v for k, v in kwargs.items() if k == "width"})
+    if svg_path is not None:
+        svg_kwargs = {k: v for k, v in kwargs.items()
+                      if k in ("cell_w", "cell_h", "label_w", "title")}
+        heatmap_svg(tk.statsframe, columns, **svg_kwargs).save(svg_path)
+    return text
+
+
+def display_histogram(tk, node_name: str, column: Hashable,
+                      bins: int = 10, svg_path: str | Path | None = None,
+                      **kwargs) -> str:
+    """Histogram of one node's per-profile metric values (Fig. 12 insets)."""
+    values = node_metric_values(tk, node_name, column)
+    if len(values) == 0:
+        raise ValueError(
+            f"no values of {column!r} for node {node_name!r}")
+    title = kwargs.pop("title", f"{node_name} — {column}")
+    text = histogram_text(values, bins=bins, title=title,
+                          **{k: v for k, v in kwargs.items() if k == "width"})
+    if svg_path is not None:
+        histogram_svg(values, bins=bins, title=title).save(svg_path)
+    return text

@@ -1,0 +1,55 @@
+"""Metadata group-by (§4.1.2, Fig. 7).
+
+Grouping on one or more metadata columns partitions the ensemble into
+one new Thicket per unique value combination, returned as an ordered
+mapping keyed exactly like the paper's output::
+
+    [('clang-9.0.0', 1048576), ('clang-9.0.0', 4194304), ...]
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..frame.index import sort_positions
+
+__all__ = ["groupby_metadata", "GroupByResult"]
+
+
+class GroupByResult(dict):
+    """Ordered mapping group-key → Thicket, with a friendly repr."""
+
+    def __repr__(self) -> str:
+        return (f"{len(self)} thickets created...\n"
+                f"{list(self.keys())!r}")
+
+
+def groupby_metadata(tk, by: str | Sequence[str]) -> GroupByResult:
+    """Partition *tk* by unique value (combinations) of metadata columns."""
+    from .filtering import filter_profile
+
+    if isinstance(by, str):
+        columns = [by]
+        scalar_key = True
+    else:
+        columns = list(by)
+        scalar_key = len(columns) == 1
+    for c in columns:
+        if c not in tk.metadata:
+            raise KeyError(f"metadata column {c!r} not found")
+
+    buckets: dict[tuple, list] = {}
+    for pid, row in tk.metadata.iterrows():
+        key = tuple(
+            row[c].item() if hasattr(row[c], "item") else row[c] for c in columns
+        )
+        buckets.setdefault(key, []).append(pid)
+
+    keys = list(buckets.keys())
+    ordered = [keys[i] for i in sort_positions(keys)]
+
+    result = GroupByResult()
+    for key in ordered:
+        out_key = key[0] if scalar_key else key
+        result[out_key] = filter_profile(tk, buckets[key])
+    return result

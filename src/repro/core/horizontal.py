@@ -1,0 +1,202 @@
+"""Hierarchical composition of Thickets (§3.2.2, Figs. 4 and 15).
+
+``concat_thickets(axis="columns")`` composes Thickets captured with
+different tools or on different architectures: their call trees are
+unified, rows are matched on the ``(node, profile-index)`` hierarchical
+key, and each input's metric columns appear under its header in a
+two-level column index (e.g. ``("CPU", "time (exc)")``).
+
+Because profile *hashes* differ across machines, callers pass
+``metadata_key`` (e.g. ``"problem_size"``): each input thicket is
+re-indexed by that metadata column so rows line up the way the paper's
+Fig. 4 aligns CPU and GPU runs of the same problem size.
+
+``axis="index"`` simply stacks additional profiles into one thicket.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..frame import DataFrame, Index, MultiIndex, concat_columns, concat_rows
+from ..graph import union_many
+
+__all__ = ["concat_thickets"]
+
+
+def concat_thickets(thickets: Sequence[Any], axis: str = "columns",
+                    headers: Sequence[str] | None = None,
+                    metadata_key: str | None = None,
+                    match_on: str = "path"):
+    """Compose multiple Thickets into one; see module docstring.
+
+    ``match_on`` controls call-tree node identification across inputs:
+    ``"path"`` (default) identifies nodes with equal root paths —
+    correct when all inputs share one tree; ``"name"`` identifies nodes
+    by frame name, which is how the paper's Fig. 4/15 align kernels
+    whose trees differ at the root (``Base_Sequential`` vs
+    ``Base_CUDA``).
+    """
+    from .thicket import Thicket
+
+    thickets = list(thickets)
+    if len(thickets) < 2:
+        raise ValueError("need at least two thickets to concatenate")
+    if axis == "index":
+        return _concat_index(thickets)
+    if axis != "columns":
+        raise ValueError(f"axis must be 'columns' or 'index', got {axis!r}")
+    if headers is None:
+        headers = [f"thicket_{i}" for i in range(len(thickets))]
+    if len(headers) != len(thickets):
+        raise ValueError("headers must match number of thickets")
+
+    if match_on == "path":
+        union_graph, maps = union_many([tk.graph for tk in thickets])
+    elif match_on == "name":
+        union_graph, maps = _match_by_name(thickets)
+    else:
+        raise ValueError(f"match_on must be 'path' or 'name', got {match_on!r}")
+
+    frames: list[DataFrame] = []
+    metas: list[DataFrame] = []
+    for tk, mapping in zip(thickets, maps):
+        df = tk.dataframe.copy()
+        index_tuples = []
+        keep_rows = []
+        for i, t in enumerate(df.index.values):
+            node, pid = t[0], t[1]
+            union_node = mapping.get(node)
+            if union_node is None:
+                continue  # name not shared across inputs
+            if metadata_key is not None:
+                pid = tk.metadata.loc[pid][metadata_key]
+            index_tuples.append((union_node, pid))
+            keep_rows.append(i)
+        if len(keep_rows) != len(df):
+            df = df.take(keep_rows)
+        df.index = MultiIndex(index_tuples,
+                              names=["node", metadata_key or "profile"])
+        frames.append(df)
+
+        meta = tk.metadata.copy()
+        if metadata_key is not None:
+            meta = meta.reset_index().set_index(metadata_key, drop=False)
+        metas.append(meta)
+
+    perf = concat_columns(frames, keys=list(headers), join="inner")
+    perf = _sort_composed(perf, union_graph)
+
+    metadata = concat_columns(metas, keys=list(headers), join="inner")
+
+    exc = []
+    inc = []
+    default = None
+    for header, tk in zip(headers, thickets):
+        exc.extend((header, m) for m in tk.exc_metrics)
+        inc.extend((header, m) for m in tk.inc_metrics)
+        if default is None and tk.default_metric is not None:
+            default = (header, tk.default_metric)
+
+    profiles = list({t[1] for t in perf.index.values})
+    out = Thicket(union_graph, perf, metadata, profiles=profiles,
+                  exc_metrics=exc, inc_metrics=inc, default_metric=default)
+    return out
+
+
+def _match_by_name(thickets: list[Any]):
+    """Identify nodes across thickets by frame name.
+
+    The composed graph is the first thicket's tree squashed to the
+    names present in *every* input (duplicate names within one tree
+    resolve to the first occurrence in traversal order).
+    """
+    from ..graph.squash import squash_graph
+
+    shared: set[str] | None = None
+    for tk in thickets:
+        names = {n.frame.name for n in tk.graph}
+        shared = names if shared is None else (shared & names)
+    shared = shared or set()
+
+    base = thickets[0]
+    keep = {n for n in base.graph if n.frame.name in shared}
+    new_graph, base_map = squash_graph(base.graph, keep)
+    name_to_new: dict[str, Any] = {}
+    for node in keep:
+        name_to_new.setdefault(node.frame.name, base_map[node])
+
+    maps = []
+    for tk in thickets:
+        mapping = {}
+        seen: set[str] = set()
+        for node in tk.graph:
+            name = node.frame.name
+            if name in name_to_new and name not in seen:
+                mapping[node] = name_to_new[name]
+                seen.add(name)
+        maps.append(mapping)
+    return new_graph, maps
+
+
+def _concat_index(thickets: list[Any]):
+    """Stack profiles of multiple thickets into one (rows axis)."""
+    from .thicket import Thicket
+
+    union_graph, maps = union_many([tk.graph for tk in thickets])
+
+    frames = []
+    metas = []
+    profiles: list[Any] = []
+    for tk, mapping in zip(thickets, maps):
+        df = tk.dataframe.copy()
+        df.index = MultiIndex(
+            [(mapping[t[0]], t[1]) for t in df.index.values],
+            names=["node", "profile"],
+        )
+        frames.append(df)
+        metas.append(tk.metadata)
+        profiles.extend(tk.profile)
+    if len(set(profiles)) != len(profiles):
+        raise ValueError("duplicate profile ids across thickets")
+
+    perf = concat_rows(frames)
+    node_rank = {n: i for i, n in enumerate(union_graph.traverse())}
+    prof_rank = {p: i for i, p in enumerate(profiles)}
+    order = sorted(
+        range(len(perf)),
+        key=lambda i: (node_rank[perf.index.values[i][0]],
+                       prof_rank[perf.index.values[i][1]]),
+    )
+    perf = perf.take(order)
+
+    metadata = concat_rows(metas)
+    metadata.index = Index(profiles, name="profile")
+
+    exc: dict[str, None] = {}
+    inc: dict[str, None] = {}
+    for tk in thickets:
+        for m in tk.exc_metrics:
+            exc.setdefault(m, None)
+        for m in tk.inc_metrics:
+            inc.setdefault(m, None)
+    return Thicket(union_graph, perf, metadata, profiles=profiles,
+                   exc_metrics=list(exc), inc_metrics=list(inc),
+                   default_metric=thickets[0].default_metric)
+
+
+def _sort_composed(perf: DataFrame, graph) -> DataFrame:
+    node_rank = {n: i for i, n in enumerate(graph.traverse())}
+    keys = [
+        (node_rank.get(t[0], len(node_rank)), _orderable(t[1]))
+        for t in perf.index.values
+    ]
+    order = sorted(range(len(keys)), key=keys.__getitem__)
+    return perf.take(order)
+
+
+def _orderable(value: Any):
+    try:
+        return (0, float(value))
+    except (TypeError, ValueError):
+        return (1, str(value))

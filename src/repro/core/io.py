@@ -1,0 +1,145 @@
+"""Thicket persistence: lossless JSON round trip of all three components.
+
+Analyses are often iterative (the paper's Jupyter workflows); saving a
+composed thicket avoids re-reading hundreds of raw profiles.  The
+format stores the call graph as a nested literal, node-indexed tables
+with positional node references, and the metadata table verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..frame import DataFrame, Index, MultiIndex
+from ..graph import Graph
+
+__all__ = ["thicket_to_json", "thicket_from_json", "save_thicket",
+           "load_thicket"]
+
+
+def _jsonable(v: Any) -> Any:
+    if hasattr(v, "item"):
+        v = v.item()
+    if isinstance(v, float) and np.isnan(v):
+        return None
+    return v
+
+
+def _encode_key(c: Any) -> Any:
+    return list(c) if isinstance(c, tuple) else c
+
+
+def _decode_key(c: Any) -> Any:
+    return tuple(c) if isinstance(c, list) else c
+
+
+def thicket_to_json(tk) -> str:
+    """Serialize a Thicket to a JSON string."""
+    node_pos = {n: i for i, n in enumerate(tk.graph.node_order())}
+
+    perf = {
+        "columns": [_encode_key(c) for c in tk.dataframe.columns],
+        "index": [[node_pos[t[0]], _jsonable(t[1])]
+                  for t in tk.dataframe.index.values],
+        "index_names": list(tk.dataframe.index.names),
+        "data": [
+            [_jsonable(tk.dataframe.column(c)[i])
+             for c in tk.dataframe.columns]
+            for i in range(len(tk.dataframe))
+        ],
+    }
+    meta = {
+        "columns": [_encode_key(c) for c in tk.metadata.columns],
+        "index": [_jsonable(p) for p in tk.metadata.index.values],
+        "data": [
+            [_jsonable(tk.metadata.column(c)[i]) for c in tk.metadata.columns]
+            for i in range(len(tk.metadata))
+        ],
+    }
+    stats_cols = [c for c in tk.statsframe.columns]
+    stats = {
+        "columns": [_encode_key(c) for c in stats_cols],
+        "index": [node_pos[n] for n in tk.statsframe.index.values],
+        "data": [
+            [_jsonable(tk.statsframe.column(c)[i]) for c in stats_cols]
+            for i in range(len(tk.statsframe))
+        ],
+    }
+    payload = {
+        "format": "repro-thicket-v1",
+        "graph": tk.graph.to_literal(),
+        "performance_data": perf,
+        "metadata": meta,
+        "statsframe": stats,
+        "profiles": [_jsonable(p) for p in tk.profile],
+        "exc_metrics": [_encode_key(m) for m in tk.exc_metrics],
+        "inc_metrics": [_encode_key(m) for m in tk.inc_metrics],
+        "default_metric": _encode_key(tk.default_metric)
+        if tk.default_metric is not None else None,
+    }
+    return json.dumps(payload)
+
+
+def thicket_from_json(text: str):
+    """Rebuild a Thicket from :func:`thicket_to_json` output."""
+    from .thicket import Thicket
+
+    payload = json.loads(text)
+    if payload.get("format") != "repro-thicket-v1":
+        raise ValueError("not a repro thicket JSON document")
+
+    graph = Graph.from_literal(payload["graph"])
+    nodes = graph.node_order()
+
+    perf_p = payload["performance_data"]
+    perf_cols = [_decode_key(c) for c in perf_p["columns"]]
+    perf_index = MultiIndex(
+        [(nodes[i], pid) for i, pid in perf_p["index"]],
+        names=perf_p["index_names"],
+    )
+    perf = DataFrame(
+        {c: [row[j] for row in perf_p["data"]]
+         for j, c in enumerate(perf_cols)},
+        index=perf_index, columns=perf_cols,
+    )
+
+    meta_p = payload["metadata"]
+    meta_cols = [_decode_key(c) for c in meta_p["columns"]]
+    metadata = DataFrame(
+        {c: [row[j] for row in meta_p["data"]]
+         for j, c in enumerate(meta_cols)},
+        index=Index(meta_p["index"], name="profile"), columns=meta_cols,
+    )
+
+    stats_p = payload["statsframe"]
+    stats_cols = [_decode_key(c) for c in stats_p["columns"]]
+    statsframe = DataFrame(
+        {c: [row[j] for row in stats_p["data"]]
+         for j, c in enumerate(stats_cols)},
+        index=Index([nodes[i] for i in stats_p["index"]], name="node"),
+        columns=stats_cols,
+    )
+
+    default = payload.get("default_metric")
+    return Thicket(
+        graph, perf, metadata, statsframe=statsframe,
+        profiles=payload["profiles"],
+        exc_metrics=[_decode_key(m) for m in payload["exc_metrics"]],
+        inc_metrics=[_decode_key(m) for m in payload["inc_metrics"]],
+        default_metric=_decode_key(default) if default is not None else None,
+    )
+
+
+def save_thicket(tk, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(thicket_to_json(tk))
+    return path
+
+
+def load_thicket(path: str | Path):
+    return thicket_from_json(Path(path).read_text())

@@ -1,0 +1,86 @@
+"""Call-path querying of Thickets (§4.1.3, Fig. 8).
+
+The query runs over the unified call tree; each predicate sees the
+node's *ensemble row view* — a mapping from column name to a Series of
+per-profile values — so the paper's idiom works verbatim::
+
+    QueryMatcher().match(".", lambda row: row["name"].apply(
+        lambda x: x == "Base_CUDA").all())
+
+Matched nodes are kept; the graph is squashed so children of dropped
+nodes re-attach to their nearest kept ancestor.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..frame import Series
+from ..graph import Node
+from ..query import QueryMatcher
+
+__all__ = ["query_thicket"]
+
+
+def query_thicket(tk, matcher: QueryMatcher, squash: bool = True):
+    """Apply *matcher* to *tk*; returns a new Thicket of matched paths."""
+    from ..graph.squash import squash_graph
+    from ..frame import MultiIndex
+    from .thicket import Thicket
+
+    # Build per-node row positions once: node -> positions in perf data.
+    positions: dict[Node, list[int]] = {}
+    for i, t in enumerate(tk.dataframe.index.values):
+        positions.setdefault(t[0], []).append(i)
+
+    columns = tk.dataframe.columns
+
+    class _RowView:
+        """Lazy mapping column -> Series of the node's per-profile values."""
+
+        __slots__ = ("_pos",)
+
+        def __init__(self, pos: list[int]):
+            self._pos = pos
+
+        def __getitem__(self, col: Any) -> Series:
+            if col not in tk.dataframe:
+                raise KeyError(col)
+            arr = tk.dataframe.column(col)
+            return Series([arr[i] for i in self._pos], name=col)
+
+        def __contains__(self, col: Any) -> bool:
+            return col in tk.dataframe
+
+        def keys(self):
+            return list(columns)
+
+    def row_view(node: Node):
+        return _RowView(positions.get(node, []))
+
+    matched = matcher.apply(tk.graph, row_view)
+    matched_set = set(matched)
+
+    perf_mask = np.fromiter(
+        (t[0] in matched_set for t in tk.dataframe.index.values),
+        dtype=bool, count=len(tk.dataframe),
+    )
+    new_perf = tk.dataframe[perf_mask]
+
+    if squash:
+        new_graph, node_map = squash_graph(tk.graph, matched_set)
+        new_perf.index = MultiIndex(
+            [(node_map[t[0]], t[1]) for t in new_perf.index.values],
+            names=["node", "profile"],
+        )
+    else:
+        new_graph = tk.graph
+
+    out = Thicket(new_graph, new_perf, tk.metadata.copy(),
+                  profiles=list(tk.profile),
+                  exc_metrics=list(tk.exc_metrics),
+                  inc_metrics=list(tk.inc_metrics),
+                  default_metric=tk.default_metric)
+    return out

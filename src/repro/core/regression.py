@@ -1,0 +1,96 @@
+"""Performance-regression detection between two thickets.
+
+LLNL's ubiquitous-performance-analysis workflow (the paper's §6, which
+Thicket plugs into) collects profiles from nightly test runs; the
+actionable question is "which regions got slower since the baseline?".
+This module answers it: per call-tree node, compare the metric's
+distribution across the baseline ensemble against the candidate
+ensemble with Welch's t-test and report significant relative changes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+import numpy as np
+from scipy import stats as sps
+
+from ..frame import DataFrame, Index
+
+__all__ = ["compare_thickets", "find_regressions"]
+
+
+def _per_node_values(tk, metric: Hashable) -> dict[str, np.ndarray]:
+    """Node name → float array of metric values across profiles."""
+    out: dict[str, list[float]] = {}
+    col = tk.dataframe.column(metric)
+    for t, v in zip(tk.dataframe.index.values, col):
+        if v is None or (isinstance(v, float) and np.isnan(v)):
+            continue
+        out.setdefault(t[0].frame.name, []).append(float(v))
+    return {k: np.asarray(v) for k, v in out.items()}
+
+
+def compare_thickets(baseline, candidate, metric: Hashable,
+                     alpha: float = 0.05) -> DataFrame:
+    """Node-by-node comparison of a metric across two ensembles.
+
+    Returns a frame indexed by node name with baseline/candidate means,
+    the relative change, Welch's t-test p-value, and a ``significant``
+    flag (p < alpha with at least two samples on each side).  Matching
+    is by node name, so the two thickets may come from different runs
+    of the same code (the usual nightly set-up).
+    """
+    base = _per_node_values(baseline, metric)
+    cand = _per_node_values(candidate, metric)
+    names = [n for n in base if n in cand]
+    if not names:
+        raise ValueError("no shared call-tree nodes between the thickets")
+
+    rows: dict[str, list[Any]] = {
+        "baseline_mean": [], "candidate_mean": [], "relative_change": [],
+        "p_value": [], "significant": [],
+        "baseline_runs": [], "candidate_runs": [],
+    }
+    for name in names:
+        b, c = base[name], cand[name]
+        b_mean, c_mean = float(np.mean(b)), float(np.mean(c))
+        if b_mean != 0:
+            rel = (c_mean - b_mean) / b_mean
+        elif c_mean == 0:
+            rel = 0.0  # structural zero rows (e.g. grouping nodes)
+        else:
+            rel = float("inf")
+        if len(b) >= 2 and len(c) >= 2 and (np.std(b) > 0 or np.std(c) > 0):
+            p = float(sps.ttest_ind(b, c, equal_var=False).pvalue)
+        else:
+            p = float("nan")
+        rows["baseline_mean"].append(b_mean)
+        rows["candidate_mean"].append(c_mean)
+        rows["relative_change"].append(rel)
+        rows["p_value"].append(p)
+        rows["significant"].append(bool(np.isfinite(p) and p < alpha))
+        rows["baseline_runs"].append(len(b))
+        rows["candidate_runs"].append(len(c))
+    return DataFrame(rows, index=Index(names, name="node"))
+
+
+def find_regressions(baseline, candidate, metric: Hashable,
+                     threshold: float = 0.05, alpha: float = 0.05
+                     ) -> DataFrame:
+    """Nodes whose metric grew by more than *threshold* (significantly).
+
+    Sorted worst-first by relative change.  A row qualifies when the
+    candidate mean exceeds the baseline by the threshold fraction *and*
+    the difference is statistically significant (or significance is
+    undecidable because an ensemble has a single run — those rows are
+    kept so single-run nightlies still alert, with ``p_value`` NaN).
+    """
+    table = compare_thickets(baseline, candidate, metric, alpha=alpha)
+    rel = table.column("relative_change").astype(np.float64)
+    pv = table.column("p_value").astype(np.float64)
+    sig = table.column("significant")
+    mask = (rel > threshold) & (np.asarray(
+        [bool(s) for s in sig]) | np.isnan(pv))
+    flagged = table[mask]
+    return flagged.sort_values("relative_change", ascending=False)

@@ -1,0 +1,70 @@
+"""Shared machinery for aggregated statistics (§4.2.1).
+
+Every statistics function reduces the performance-data rows of each
+call-tree node across profiles and appends the result to the thicket's
+``statsframe`` under ``"<column>_<stat>"`` (tuple columns keep their
+header level: ``("CPU", "time (exc)_std")``), matching the naming in
+the paper's Fig. 9 (``Retiring_std``, ``time (exc)_std``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Sequence
+
+import numpy as np
+
+from ...frame.ops import numeric_values
+
+__all__ = ["apply_nodewise", "suffix_key", "resolve_columns", "grouped_values"]
+
+
+def suffix_key(col: Hashable, suffix: str) -> Hashable:
+    """``time (exc)`` + ``std`` → ``time (exc)_std`` (tuple-aware)."""
+    if isinstance(col, tuple):
+        return col[:-1] + (f"{col[-1]}_{suffix}",)
+    return f"{col}_{suffix}"
+
+
+def resolve_columns(tk, columns: Sequence[Hashable] | None) -> list[Hashable]:
+    """Default to every numeric metric column when none are given."""
+    if columns is None:
+        return tk.performance_cols
+    missing = [c for c in columns if c not in tk.dataframe]
+    if missing:
+        raise KeyError(f"columns not in performance data: {missing!r}")
+    return list(columns)
+
+
+def grouped_values(tk, column: Hashable) -> tuple[list, list[np.ndarray]]:
+    """Per-node float arrays of a metric across profiles.
+
+    Returns ``(nodes, arrays)`` ordered like the statsframe index, with
+    missing values dropped per node.
+    """
+    positions: dict[Any, list[int]] = {}
+    for i, t in enumerate(tk.dataframe.index.values):
+        positions.setdefault(t[0], []).append(i)
+    col = tk.dataframe.column(column)
+    nodes = list(tk.statsframe.index.values)
+    arrays = []
+    for node in nodes:
+        pos = positions.get(node, [])
+        arrays.append(numeric_values(col[pos]) if pos else np.empty(0))
+    return nodes, arrays
+
+
+def apply_nodewise(tk, columns: Sequence[Hashable] | None, suffix: str,
+                   reducer: Callable[[np.ndarray], float]) -> list[Hashable]:
+    """Reduce each column per node and append to the statsframe.
+
+    Returns the list of created statsframe column keys.
+    """
+    created = []
+    for col in resolve_columns(tk, columns):
+        _, arrays = grouped_values(tk, col)
+        out_key = suffix_key(col, suffix)
+        tk.statsframe[out_key] = [
+            reducer(a) if len(a) else float("nan") for a in arrays
+        ]
+        created.append(out_key)
+    return created

@@ -1,0 +1,427 @@
+"""The ``Thicket`` object — the paper's primary contribution (§3).
+
+A Thicket unifies an ensemble of call-tree profiles into three linked
+components:
+
+* ``dataframe`` — performance data with a ``(node, profile)``
+  MultiIndex, one row per execution of each call-tree node;
+* ``metadata``  — one row per profile (build settings + execution
+  context), indexed by profile id;
+* ``statsframe`` — aggregated statistics, one row per call-tree node,
+  filled in by the functions in :mod:`repro.core.stats`.
+
+Profiles are composed on the union of their call trees (computed by
+structural matching of labelled trees, see :mod:`repro.graph.union`);
+the profile index is either a deterministic hash of the run metadata or
+a user-chosen metadata column (§3.2.1).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..frame import DataFrame, Index, MultiIndex, concat_rows
+from ..graph import Graph, GraphFrame, Node, union_many
+from ..readers.caliper import read_cali_json
+
+__all__ = ["Thicket", "profile_hash"]
+
+
+def profile_hash(metadata: Mapping[str, Any]) -> int:
+    """Deterministic signed 64-bit profile id from run metadata.
+
+    Mirrors the hash ids visible in the paper's metadata tables
+    (e.g. ``-5810787656424201390``).
+    """
+    blob = json.dumps(
+        {str(k): str(v) for k, v in metadata.items()}, sort_keys=True
+    ).encode()
+    digest = hashlib.sha256(blob).digest()
+    return int.from_bytes(digest[:8], "big", signed=True)
+
+
+class Thicket:
+    """Ensemble of performance profiles over a unified call tree."""
+
+    def __init__(self, graph: Graph, dataframe: DataFrame, metadata: DataFrame,
+                 statsframe: DataFrame | None = None,
+                 profiles: Sequence[Any] | None = None,
+                 exc_metrics: Sequence[str] | None = None,
+                 inc_metrics: Sequence[str] | None = None,
+                 default_metric: str | None = None):
+        self.graph = graph
+        self.dataframe = dataframe
+        self.metadata = metadata
+        self.exc_metrics = list(exc_metrics or [])
+        self.inc_metrics = list(inc_metrics or [])
+        self.default_metric = default_metric or (
+            self.exc_metrics[0] if self.exc_metrics else None
+        )
+        if profiles is None:
+            profiles = list(metadata.index.values)
+        self.profile = list(profiles)
+        if statsframe is None:
+            statsframe = self._empty_statsframe()
+        self.statsframe = statsframe
+
+    def _empty_statsframe(self) -> DataFrame:
+        nodes = self.graph.node_order()
+        return DataFrame(
+            {"name": [n.frame.name for n in nodes]},
+            index=Index(nodes, name="node"),
+        )
+
+    # ------------------------------------------------------------------
+    # construction (§3.2.1 — composing a set of profiles)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_caliperreader(cls, sources: Iterable[Any] | Any,
+                           intersection: bool = False,
+                           metadata_key: str | None = None,
+                           fill_perfdata: bool = False) -> "Thicket":
+        """Compose Caliper profiles (file paths or GraphFrames) into a Thicket.
+
+        Parameters
+        ----------
+        sources:
+            One or more ``*.json`` cali profiles and/or GraphFrames.
+        intersection:
+            Keep only call-tree nodes present in *every* profile
+            (default keeps the union).
+        metadata_key:
+            Use this metadata column as the profile index instead of a
+            hash (e.g. ``"problem_size"``); values must be unique.
+        fill_perfdata:
+            With the union semantics, emit NaN rows for (node, profile)
+            pairs where the profile did not visit the node, giving a
+            dense table (the xarray-style layout discussed in §6).
+        """
+        if isinstance(sources, (str, Path, GraphFrame)):
+            sources = [sources]
+        gfs: list[GraphFrame] = []
+        for src in sources:
+            if isinstance(src, GraphFrame):
+                gfs.append(src)
+            else:
+                gfs.append(read_cali_json(src))
+        if not gfs:
+            raise ValueError("no profiles given")
+
+        union_graph, maps = union_many([gf.graph for gf in gfs])
+
+        # profile ids
+        profile_ids: list[Any] = []
+        for gf in gfs:
+            if metadata_key is not None:
+                try:
+                    pid = gf.metadata[metadata_key]
+                except KeyError:
+                    raise KeyError(
+                        f"metadata_key {metadata_key!r} missing from a profile"
+                    ) from None
+            else:
+                pid = profile_hash(gf.metadata)
+            profile_ids.append(pid)
+        if len(set(profile_ids)) != len(profile_ids):
+            raise ValueError(
+                "profile ids are not unique; choose a different metadata_key"
+            )
+
+        # performance data rows, re-keyed to union nodes
+        per_profile: list[DataFrame] = []
+        for gf, mapping, pid in zip(gfs, maps, profile_ids):
+            df = gf.dataframe.copy()
+            tuples = [(mapping[n], pid) for n in df.index.values]
+            df.index = MultiIndex(tuples, names=["node", "profile"])
+            per_profile.append(df)
+        perf = concat_rows(per_profile)
+
+        node_filter: set[Node] | None = None
+        if intersection:
+            counts: dict[Node, int] = {}
+            for mapping in maps:
+                for un in set(mapping.values()):
+                    counts[un] = counts.get(un, 0) + 1
+            node_filter = {n for n, c in counts.items() if c == len(gfs)}
+
+        if fill_perfdata:
+            nodes = [
+                n for n in union_graph.node_order()
+                if node_filter is None or n in node_filter
+            ]
+            full = MultiIndex(
+                [(n, p) for n in nodes for p in profile_ids],
+                names=["node", "profile"],
+            )
+            perf = perf.reindex(full)
+            name_fix = [t[0].frame.name for t in perf.index.values]
+            perf["name"] = name_fix
+        else:
+            perf = _sort_perfdata(perf, union_graph, profile_ids)
+            if node_filter is not None:
+                mask = np.fromiter(
+                    (t[0] in node_filter for t in perf.index.values),
+                    dtype=bool, count=len(perf),
+                )
+                perf = perf[mask]
+
+        if node_filter is not None:
+            from ..graph.squash import squash_graph
+
+            union_graph, node_map = squash_graph(union_graph, node_filter)
+            perf.index = MultiIndex(
+                [(node_map[t[0]], t[1]) for t in perf.index.values],
+                names=["node", "profile"],
+            )
+
+        # metadata table
+        meta_records = [dict(gf.metadata) for gf in gfs]
+        meta_cols: dict[str, None] = {}
+        for rec in meta_records:
+            for k in rec:
+                meta_cols.setdefault(k, None)
+        metadata = DataFrame(
+            {k: [rec.get(k) for rec in meta_records] for k in meta_cols},
+            index=Index(profile_ids, name="profile"),
+        )
+
+        exc: dict[str, None] = {}
+        inc: dict[str, None] = {}
+        for gf in gfs:
+            for m in gf.exc_metrics:
+                exc.setdefault(m, None)
+            for m in gf.inc_metrics:
+                inc.setdefault(m, None)
+        default = next(
+            (gf.default_metric for gf in gfs if gf.default_metric), None
+        )
+        return cls(union_graph, perf, metadata, profiles=profile_ids,
+                   exc_metrics=list(exc), inc_metrics=list(inc),
+                   default_metric=default)
+
+    # ------------------------------------------------------------------
+    # basic API
+    # ------------------------------------------------------------------
+    @property
+    def performance_cols(self) -> list:
+        """Numeric metric columns of the performance data table."""
+        out = []
+        for c in self.dataframe.columns:
+            last = c[-1] if isinstance(c, tuple) else c
+            if last == "name":
+                continue
+            if self.dataframe.column(c).dtype.kind in "if":
+                out.append(c)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.dataframe)
+
+    def __repr__(self) -> str:
+        return (f"Thicket(profiles={len(self.profile)}, nodes={len(self.graph)}, "
+                f"rows={len(self.dataframe)})")
+
+    def copy(self) -> "Thicket":
+        return Thicket(self.graph, self.dataframe.copy(), self.metadata.copy(),
+                       statsframe=self.statsframe.copy(),
+                       profiles=list(self.profile),
+                       exc_metrics=list(self.exc_metrics),
+                       inc_metrics=list(self.inc_metrics),
+                       default_metric=self.default_metric)
+
+    def tree(self, metric_column: str | None = None, precision: int = 3,
+             color: bool = False) -> str:
+        """Render the unified call tree annotated with a statsframe or
+        per-profile-mean metric."""
+        from ..viz.tree import render_tree
+
+        metric = metric_column
+        if metric is not None and metric in self.statsframe:
+            return render_tree(self.graph, self.statsframe, metric,
+                               precision=precision, color=color)
+        metric = metric or self.default_metric
+        if metric is None or metric not in self.dataframe:
+            return render_tree(self.graph, self.statsframe, None,
+                               precision=precision, color=color)
+        means = self.dataframe.groupby(level="node").agg({metric: "mean"})
+        return render_tree(self.graph, means, metric,
+                           precision=precision, color=color)
+
+    # ------------------------------------------------------------------
+    # manipulation (§4.1) — implemented in sibling modules
+    # ------------------------------------------------------------------
+    def filter_metadata(self, predicate: Callable[[dict], bool]) -> "Thicket":
+        from .filtering import filter_metadata
+
+        return filter_metadata(self, predicate)
+
+    def filter_stats(self, predicate: Callable[[dict], bool]) -> "Thicket":
+        from .filtering import filter_stats
+
+        return filter_stats(self, predicate)
+
+    def filter_profile(self, profiles: Sequence[Any]) -> "Thicket":
+        from .filtering import filter_profile
+
+        return filter_profile(self, profiles)
+
+    def groupby(self, by: str | Sequence[str]):
+        from .groupby import groupby_metadata
+
+        return groupby_metadata(self, by)
+
+    def query(self, matcher, squash: bool = True) -> "Thicket":
+        from .querying import query_thicket
+
+        return query_thicket(self, matcher, squash=squash)
+
+    # ------------------------------------------------------------------
+    # metadata → columns and derived data
+    # ------------------------------------------------------------------
+    def metadata_column_to_perfdata(self, column: str,
+                                    overwrite: bool = False) -> None:
+        """Broadcast a metadata column onto performance-data rows
+        (how problem size becomes a per-row key in Fig. 4)."""
+        if column in self.dataframe and not overwrite:
+            raise ValueError(f"column {column!r} already in performance data")
+        meta = {
+            p: v for p, v in zip(self.metadata.index.values,
+                                 self.metadata.column(column))
+        }
+        self.dataframe[column] = [
+            meta.get(t[1]) for t in self.dataframe.index.values
+        ]
+
+    def add_ncu(self, ncu_report: DataFrame, prefix: str | None = None) -> None:
+        """Attach NCU per-kernel metrics, matching kernels to node names.
+
+        Metrics are broadcast to every (node, profile) row whose node
+        name equals the kernel name (Fig. 15's "GPU Nsight Compute"
+        column group).
+        """
+        by_kernel = {
+            k: {m: ncu_report.column(m)[i] for m in ncu_report.columns}
+            for i, k in enumerate(ncu_report.index.values)
+        }
+        names = [t[0].frame.name for t in self.dataframe.index.values]
+        for metric in ncu_report.columns:
+            key = (prefix, metric) if prefix else metric
+            self.dataframe[key] = [
+                by_kernel.get(nm, {}).get(metric, np.nan) for nm in names
+            ]
+
+    # ------------------------------------------------------------------
+    # persistence and display conveniences
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        from .io import thicket_to_json
+
+        return thicket_to_json(self)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Thicket":
+        from .io import thicket_from_json
+
+        return thicket_from_json(text)
+
+    def save(self, path) -> Path:
+        from .io import save_thicket
+
+        return save_thicket(self, path)
+
+    @classmethod
+    def load(cls, path) -> "Thicket":
+        from .io import load_thicket
+
+        return load_thicket(path)
+
+    def display_heatmap(self, columns=None, svg_path=None, **kwargs) -> str:
+        from .display import display_heatmap
+
+        return display_heatmap(self, columns=columns, svg_path=svg_path,
+                               **kwargs)
+
+    def display_histogram(self, node_name: str, column, **kwargs) -> str:
+        from .display import display_histogram
+
+        return display_histogram(self, node_name, column, **kwargs)
+
+    def get_node(self, name: str) -> Node:
+        """First node in traversal order with the given frame name."""
+        node = self.graph.find(name)
+        if node is None:
+            raise KeyError(f"no node named {name!r}")
+        return node
+
+    def get_unique_metadata(self) -> dict[str, list]:
+        """Column → sorted unique values of the metadata table.
+
+        The "quickly inspect which simulation parameters are present"
+        step of §3.2.1.
+        """
+        from ..frame.index import sort_positions
+
+        out: dict[str, list] = {}
+        for col in self.metadata.columns:
+            values = []
+            seen: set = set()
+            for v in self.metadata.column(col):
+                key = v.item() if hasattr(v, "item") else v
+                if key not in seen:
+                    seen.add(key)
+                    values.append(key)
+            out[str(col)] = [values[i] for i in sort_positions(values)]
+        return out
+
+    def intersection(self) -> "Thicket":
+        """Keep only call-tree nodes measured in *every* profile.
+
+        Post-hoc version of ``from_caliperreader(intersection=True)``
+        for thickets that were composed with union semantics.
+        """
+        from ..graph.squash import squash_graph
+
+        counts: dict[Node, set] = {}
+        for t in self.dataframe.index.values:
+            counts.setdefault(t[0], set()).add(t[1])
+        full = set(self.profile)
+        keep = {n for n, profs in counts.items() if profs == full}
+
+        new_graph, node_map = squash_graph(self.graph, keep)
+        mask = np.fromiter(
+            (t[0] in keep for t in self.dataframe.index.values),
+            dtype=bool, count=len(self.dataframe),
+        )
+        perf = self.dataframe[mask]
+        perf.index = MultiIndex(
+            [(node_map[t[0]], t[1]) for t in perf.index.values],
+            names=["node", "profile"],
+        )
+        return Thicket(new_graph, perf, self.metadata.copy(),
+                       profiles=list(self.profile),
+                       exc_metrics=list(self.exc_metrics),
+                       inc_metrics=list(self.inc_metrics),
+                       default_metric=self.default_metric)
+
+    def unify_statsframe_index(self) -> None:
+        """Rebuild the statsframe skeleton after structural changes."""
+        self.statsframe = self._empty_statsframe()
+
+
+def _sort_perfdata(perf: DataFrame, graph: Graph, profile_ids: list) -> DataFrame:
+    """Order rows by (graph pre-order, profile-id appearance order)."""
+    node_rank = {n: i for i, n in enumerate(graph.traverse())}
+    prof_rank = {p: i for i, p in enumerate(profile_ids)}
+    keys = [
+        (node_rank.get(t[0], len(node_rank)), prof_rank.get(t[1], len(prof_rank)))
+        for t in perf.index.values
+    ]
+    order = sorted(range(len(keys)), key=keys.__getitem__)
+    return perf.take(order)
+
+

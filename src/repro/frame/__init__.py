@@ -1,0 +1,33 @@
+"""``repro.frame`` — the columnar DataFrame substrate (pandas substitute).
+
+Public surface::
+
+    from repro.frame import DataFrame, Series, Index, MultiIndex
+    from repro.frame import concat_rows, concat_columns, merge, join_on_index
+"""
+
+from .concat import concat_columns, concat_rows
+from .dataframe import DataFrame
+from .index import Index, MultiIndex, RangeIndex, ensure_index
+from .io import from_json, read_csv, to_csv, to_json
+from .join import join_on_index, merge
+from .ops import AGGREGATIONS
+from .series import Series
+
+__all__ = [
+    "DataFrame",
+    "Series",
+    "Index",
+    "MultiIndex",
+    "RangeIndex",
+    "ensure_index",
+    "concat_rows",
+    "concat_columns",
+    "merge",
+    "join_on_index",
+    "to_csv",
+    "read_csv",
+    "to_json",
+    "from_json",
+    "AGGREGATIONS",
+]

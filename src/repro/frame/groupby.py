@@ -1,0 +1,173 @@
+"""Split-apply-combine over DataFrames.
+
+Supports grouping by one or more columns *or* by a level of a
+MultiIndex.  The grouper materializes positional partitions once;
+aggregations then run one numpy kernel per (group, column) pair.
+Thicket's aggregated-statistics table is a groupby over the ``node``
+level of the performance data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .dataframe import DataFrame
+from .index import Index, MultiIndex, sort_positions
+from .ops import resolve_aggregation
+
+__all__ = ["GroupBy"]
+
+
+class GroupBy:
+    """Lazy grouping of a DataFrame's rows.
+
+    Parameters
+    ----------
+    df:
+        Source frame.
+    by:
+        Column key or list of column keys to group on.
+    level:
+        Alternatively, a MultiIndex level (number or name).
+    """
+
+    def __init__(self, df: DataFrame, by: Hashable | Sequence[Hashable] | None = None,
+                 level: int | Hashable | None = None):
+        if (by is None) == (level is None):
+            raise ValueError("specify exactly one of `by` or `level`")
+        self._df = df
+        self._level = level
+        if by is not None and (
+            isinstance(by, (str, tuple)) or not isinstance(by, Sequence)
+        ):
+            by = [by]
+        self._by: list[Hashable] | None = list(by) if by is not None else None
+        self._groups: dict[Any, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    def _key_values(self) -> list[Any]:
+        df = self._df
+        if self._level is not None:
+            if isinstance(df.index, MultiIndex):
+                num = df.index.level_number(self._level)
+                return [t[num] for t in df.index.values]
+            if self._level in (0, df.index.name):
+                return list(df.index.values)
+            raise KeyError(f"level {self._level!r} not found")
+        assert self._by is not None
+        if len(self._by) == 1:
+            return list(df.column(self._by[0]))
+        return list(zip(*(df.column(k) for k in self._by)))
+
+    @property
+    def groups(self) -> dict[Any, np.ndarray]:
+        """Mapping group key → row positions (insertion-ordered by key sort)."""
+        if self._groups is None:
+            buckets: dict[Any, list[int]] = {}
+            for i, key in enumerate(self._key_values()):
+                buckets.setdefault(key, []).append(i)
+            order = sort_positions(list(buckets.keys()))
+            keys = list(buckets.keys())
+            self._groups = {
+                keys[i]: np.asarray(buckets[keys[i]], dtype=np.intp) for i in order
+            }
+        return self._groups
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def __iter__(self) -> Iterator[tuple[Any, DataFrame]]:
+        for key, positions in self.groups.items():
+            yield key, self._df.take(positions)
+
+    def get_group(self, key: Any) -> DataFrame:
+        return self._df.take(self.groups[key])
+
+    def size(self) -> dict[Any, int]:
+        return {k: len(p) for k, p in self.groups.items()}
+
+    # ------------------------------------------------------------------
+    def agg(self, how: str | Callable | Mapping[Hashable, str | Callable] |
+            Mapping[Hashable, Sequence[str | Callable]]) -> DataFrame:
+        """Aggregate each group.
+
+        *how* may be a single function/name (applied to every non-key
+        column), or a mapping ``column -> function`` /
+        ``column -> [functions]``.  Multi-function specs produce columns
+        named ``f"{column}_{fn}"`` following Thicket's stats naming.
+        """
+        df = self._df
+        if isinstance(how, Mapping):
+            spec: list[tuple[Hashable, Hashable, Callable]] = []
+            for col, fns in how.items():
+                if isinstance(fns, (str,)) or callable(fns):
+                    fns = [fns]
+                multi = len(fns) > 1
+                for fn in fns:
+                    fn_callable = resolve_aggregation(fn)
+                    name = fn if isinstance(fn, str) else getattr(fn, "__name__", "agg")
+                    out_key = _suffix_key(col, name) if multi else col
+                    spec.append((out_key, col, fn_callable))
+        else:
+            fn_callable = resolve_aggregation(how)
+            key_cols = set(self._by or [])
+            spec = [
+                (c, c, fn_callable) for c in df.columns if c not in key_cols
+            ]
+
+        groups = self.groups
+        keys = list(groups.keys())
+        out = DataFrame(index=self._result_index(keys))
+        for out_key, col, fn in spec:
+            values = df.column(col)
+            out[out_key] = [fn(values[pos]) for pos in groups.values()]
+        return out
+
+    def _result_index(self, keys: list[Any]) -> Index:
+        if self._by is not None and len(self._by) > 1:
+            return MultiIndex(keys, names=self._by)
+        name: Hashable | None
+        if self._by is not None:
+            name = self._by[0]
+        elif isinstance(self._df.index, MultiIndex):
+            name = self._df.index.names[self._df.index.level_number(self._level)]
+        else:
+            name = self._df.index.name
+        return Index(keys, name=name)
+
+    def mean(self) -> DataFrame:
+        return self.agg("mean")
+
+    def sum(self) -> DataFrame:
+        return self.agg("sum")
+
+    def std(self) -> DataFrame:
+        return self.agg("std")
+
+    def var(self) -> DataFrame:
+        return self.agg("var")
+
+    def min(self) -> DataFrame:
+        return self.agg("min")
+
+    def max(self) -> DataFrame:
+        return self.agg("max")
+
+    def median(self) -> DataFrame:
+        return self.agg("median")
+
+    def count(self) -> DataFrame:
+        return self.agg("count")
+
+    def apply(self, fn: Callable[[DataFrame], Any]) -> dict[Any, Any]:
+        """Apply *fn* to each group's sub-frame; returns key → result."""
+        return {key: fn(sub) for key, sub in self}
+
+
+def _suffix_key(col: Hashable, suffix: str) -> Hashable:
+    """``col_suffix`` for flat keys, suffix on last element for tuples."""
+    if isinstance(col, tuple):
+        return col[:-1] + (f"{col[-1]}_{suffix}",)
+    return f"{col}_{suffix}"

@@ -1,0 +1,119 @@
+"""Serialization of DataFrames to CSV and JSON.
+
+Used by the benchmark harness to persist the regenerated
+figure/table data next to the paper's originals.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any
+
+from .dataframe import DataFrame
+from .index import MultiIndex
+
+__all__ = ["to_csv", "read_csv", "to_json", "from_json"]
+
+
+def _flat_col(c: Any) -> str:
+    return ".".join(str(p) for p in c) if isinstance(c, tuple) else str(c)
+
+
+def to_csv(df: DataFrame, path: str | Path | None = None) -> str | None:
+    """Write *df* as CSV; returns the text when *path* is None."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    if isinstance(df.index, MultiIndex):
+        idx_names = [str(n) if n is not None else f"level_{i}"
+                     for i, n in enumerate(df.index.names)]
+    else:
+        idx_names = [str(df.index.name) if df.index.name is not None else "index"]
+    writer.writerow(idx_names + [_flat_col(c) for c in df.columns])
+    for lbl, row in df.iterrows():
+        idx_cells = list(lbl) if isinstance(lbl, tuple) else [lbl]
+        writer.writerow(idx_cells + [row[c] for c in df.columns])
+    text = buf.getvalue()
+    if path is None:
+        return text
+    Path(path).write_text(text)
+    return None
+
+
+def read_csv(path_or_text: str | Path, index_col: int | None = None) -> DataFrame:
+    """Read a CSV produced by :func:`to_csv` (or any rectangular CSV)."""
+    if isinstance(path_or_text, Path) or "\n" not in str(path_or_text):
+        text = Path(path_or_text).read_text()
+    else:
+        text = str(path_or_text)
+    rows = list(csv.reader(io.StringIO(text)))
+    if not rows:
+        return DataFrame()
+    header, data_rows = rows[0], rows[1:]
+    cols: dict[str, list] = {h: [] for h in header}
+    for r in data_rows:
+        for h, v in zip(header, r):
+            cols[h].append(_parse_scalar(v))
+    df = DataFrame(cols)
+    if index_col is not None:
+        df = df.set_index(header[index_col])
+    return df
+
+
+def _parse_scalar(text: str) -> Any:
+    if text == "":
+        return None
+    for caster in (int, float):
+        try:
+            return caster(text)
+        except ValueError:
+            continue
+    return text
+
+
+def to_json(df: DataFrame, path: str | Path | None = None) -> str | None:
+    """JSON with explicit index/columns/data arrays (lossless for tuples)."""
+    payload = {
+        "columns": [list(c) if isinstance(c, tuple) else c for c in df.columns],
+        "index": [list(lbl) if isinstance(lbl, tuple) else lbl
+                  for lbl in df.index.values],
+        "index_names": (list(df.index.names) if isinstance(df.index, MultiIndex)
+                        else [df.index.name]),
+        "data": [
+            [_jsonable(df.column(c)[i]) for c in df.columns]
+            for i in range(len(df))
+        ],
+    }
+    text = json.dumps(payload, indent=1)
+    if path is None:
+        return text
+    Path(path).write_text(text)
+    return None
+
+
+def _jsonable(v: Any) -> Any:
+    if hasattr(v, "item"):
+        return v.item()
+    return v
+
+
+def from_json(path_or_text: str | Path) -> DataFrame:
+    if isinstance(path_or_text, Path):
+        text = path_or_text.read_text()
+    else:
+        p = Path(str(path_or_text))
+        text = p.read_text() if p.exists() else str(path_or_text)
+    payload = json.loads(text)
+    columns = [tuple(c) if isinstance(c, list) else c for c in payload["columns"]]
+    index = [tuple(lbl) if isinstance(lbl, list) else lbl for lbl in payload["index"]]
+    data = {c: [row[j] for row in payload["data"]] for j, c in enumerate(columns)}
+    names = payload.get("index_names") or [None]
+    if index and all(isinstance(lbl, tuple) for lbl in index):
+        idx = MultiIndex(index, names=names)
+    else:
+        from .index import Index
+
+        idx = Index(index, name=names[0])
+    return DataFrame(data, index=idx, columns=columns)

@@ -1,0 +1,86 @@
+"""GraphFrame arithmetic: subtract or divide two profiles node-by-node.
+
+Hatchet's classic use cases ("computing the speedup of a single core to
+many cores") are binary operations over two profiles: match nodes on
+call path, then combine their metric columns.  Nodes present in only
+one input keep their value for ``sub`` (the other side counts as 0) and
+yield NaN for ``div``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..frame import DataFrame, Index
+from .graphframe import GraphFrame
+from .union import union_graphs
+
+__all__ = ["combine_graphframes", "subtract", "divide"]
+
+
+def combine_graphframes(a: GraphFrame, b: GraphFrame,
+                        op: Callable[[np.ndarray, np.ndarray], np.ndarray],
+                        metrics: Sequence[str] | None = None,
+                        missing: float = np.nan) -> GraphFrame:
+    """Generic binary combination over the union of two call trees.
+
+    Parameters
+    ----------
+    op:
+        Vectorized binary operation applied per metric column.
+    metrics:
+        Columns to combine (default: numeric columns common to both).
+    missing:
+        Value standing in for a node one side did not measure.
+    """
+    union, map_a, map_b = union_graphs(a.graph, b.graph)
+    nodes = union.node_order()
+    pos = {n: i for i, n in enumerate(nodes)}
+
+    if metrics is None:
+        metrics = [
+            c for c in a.dataframe.columns
+            if c in b.dataframe
+            and a.dataframe.column(c).dtype.kind in "if"
+            and b.dataframe.column(c).dtype.kind in "if"
+        ]
+    if not metrics:
+        raise ValueError("no shared numeric metric columns to combine")
+
+    def lift(gf: GraphFrame, mapping, column: str) -> np.ndarray:
+        out = np.full(len(nodes), missing, dtype=np.float64)
+        col = gf.dataframe.column(column)
+        for node, v in zip(gf.dataframe.index.values, col):
+            out[pos[mapping[node]]] = float(v)
+        return out
+
+    data: dict = {"name": [n.frame.name for n in nodes]}
+    with np.errstate(invalid="ignore", divide="ignore"):
+        for metric in metrics:
+            data[metric] = op(lift(a, map_a, metric), lift(b, map_b, metric))
+
+    df = DataFrame(data, index=Index(nodes, name="node"))
+    return GraphFrame(union, df,
+                      metadata={"operands": (dict(a.metadata),
+                                             dict(b.metadata))},
+                      exc_metrics=[m for m in metrics
+                                   if m in a.exc_metrics],
+                      inc_metrics=[m for m in metrics
+                                   if m in a.inc_metrics],
+                      default_metric=a.default_metric
+                      if a.default_metric in metrics else None)
+
+
+def subtract(a: GraphFrame, b: GraphFrame,
+             metrics: Sequence[str] | None = None) -> GraphFrame:
+    """Per-node difference ``a - b`` (missing nodes count as 0)."""
+    return combine_graphframes(a, b, lambda x, y: np.nan_to_num(x)
+                               - np.nan_to_num(y), metrics=metrics)
+
+
+def divide(a: GraphFrame, b: GraphFrame,
+           metrics: Sequence[str] | None = None) -> GraphFrame:
+    """Per-node ratio ``a / b`` (e.g. speedup); missing nodes give NaN."""
+    return combine_graphframes(a, b, lambda x, y: x / y, metrics=metrics)

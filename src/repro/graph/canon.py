@@ -1,0 +1,48 @@
+"""Canonical forms for labelled call trees (the isomorphism test).
+
+The paper notes Thicket "solves the graph isomorphism problem" to
+intersect the call trees of an ensemble.  For rooted *labelled* trees,
+isomorphism is decidable in linear time via canonical forms
+(Aho-Hopcroft-Ullman): recursively canonize children, sort, and wrap
+with the node's own label.  Two trees are isomorphic (with matching
+labels) iff their canonical forms are equal.
+
+This module is also used by the ablation benchmark comparing
+canonical-form matching against naive recursive merging.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .node import Node
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .graph import Graph
+
+__all__ = ["canonical_form", "trees_isomorphic", "canonical_hash"]
+
+
+def _canon(node: Node, visited: set[int]) -> tuple:
+    """Canonical tuple for the subtree rooted at *node*."""
+    if id(node) in visited:
+        # DAG back-reference: encode as a leaf marker so forms stay finite
+        return (node.frame._key, "<shared>")
+    visited = visited | {id(node)}
+    child_forms = sorted(_canon(c, visited) for c in node.children)
+    return (node.frame._key, tuple(child_forms))
+
+
+def canonical_form(graph: "Graph") -> tuple:
+    """Order-independent canonical form of a whole forest."""
+    return tuple(sorted(_canon(root, set()) for root in graph.roots))
+
+
+def canonical_hash(graph: "Graph") -> int:
+    """Hash of the canonical form (fast pre-check for equality)."""
+    return hash(canonical_form(graph))
+
+
+def trees_isomorphic(a: "Graph", b: "Graph") -> bool:
+    """Label-preserving isomorphism test for two forests."""
+    return canonical_form(a) == canonical_form(b)

@@ -1,0 +1,141 @@
+"""The call graph: a forest of :class:`~repro.graph.node.Node` trees.
+
+Provides traversal, structural equality, and the *union* operation that
+Thicket relies on to compose profiles: executions with different build
+settings typically produce similar call trees, so the union graph is
+the composition basis (§3.2 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping
+
+from .node import Frame, Node, node_path
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """A rooted forest of call-tree nodes."""
+
+    def __init__(self, roots: Iterable[Node]):
+        self.roots = list(roots)
+        self.enumerate_traverse()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_literal(cls, literal: list[Mapping]) -> "Graph":
+        """Build a graph from a nested dict description::
+
+            Graph.from_literal([
+                {"frame": {"name": "main"}, "children": [
+                    {"frame": {"name": "solve"}},
+                ]},
+            ])
+        """
+
+        def build(spec: Mapping, parent: Node | None) -> Node:
+            frame = Frame(spec["frame"]) if "frame" in spec else Frame(
+                name=spec["name"]
+            )
+            node = Node(frame)
+            if parent is not None:
+                parent.connect(node)
+            for child_spec in spec.get("children", []):
+                build(child_spec, node)
+            return node
+
+        return cls([build(spec, None) for spec in literal])
+
+    def to_literal(self) -> list[dict]:
+        """Inverse of :meth:`from_literal` (tree view of the graph)."""
+
+        def emit(node: Node) -> dict:
+            spec: dict = {"frame": dict(node.frame.attrs)}
+            if node.children:
+                spec["children"] = [emit(c) for c in node.children]
+            return spec
+
+        return [emit(r) for r in self.roots]
+
+    # ------------------------------------------------------------------
+    def traverse(self, order: str = "pre") -> Iterator[Node]:
+        visited: set[int] = set()
+        for root in self.roots:
+            for node in root.traverse(order=order):
+                if id(node) not in visited:
+                    visited.add(id(node))
+                    yield node
+
+    def __iter__(self) -> Iterator[Node]:
+        return self.traverse()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.traverse())
+
+    def node_order(self) -> list[Node]:
+        return list(self.traverse())
+
+    def enumerate_traverse(self) -> None:
+        """Assign stable node ids in pre-order."""
+        for i, node in enumerate(self.traverse()):
+            node._nid = i
+
+    def find(self, name: str) -> Node | None:
+        """First node (pre-order) whose frame name equals *name*."""
+        for node in self.traverse():
+            if node.frame.name == name:
+                return node
+        return None
+
+    def find_all(self, predicate: str | Callable[[Node], bool]) -> list[Node]:
+        if isinstance(predicate, str):
+            wanted = predicate
+            predicate = lambda n: n.frame.name == wanted  # noqa: E731
+        return [n for n in self.traverse() if predicate(n)]
+
+    # ------------------------------------------------------------------
+    def copy(self) -> tuple["Graph", dict[Node, Node]]:
+        """Deep copy of the structure; returns (graph, old→new node map)."""
+        mapping: dict[Node, Node] = {}
+
+        def clone(node: Node) -> Node:
+            if node in mapping:
+                return mapping[node]
+            new = node.copy()
+            mapping[node] = new
+            for child in node.children:
+                new.connect(clone(child))
+            return new
+
+        return Graph([clone(r) for r in self.roots]), mapping
+
+    # ------------------------------------------------------------------
+    # structural identity
+    # ------------------------------------------------------------------
+    def path_map(self) -> dict[tuple[Frame, ...], Node]:
+        """Map root-path → node.  Paths are unique within one profile's tree."""
+        return {node_path(n): n for n in self.traverse()}
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same shape with equal frames."""
+        if not isinstance(other, Graph):
+            return NotImplemented
+        from .canon import canonical_form
+
+        return canonical_form(self) == canonical_form(other)
+
+    def __hash__(self):
+        raise TypeError("Graph objects are not hashable")
+
+    def union(self, other: "Graph") -> tuple["Graph", dict[Node, Node], dict[Node, Node]]:
+        """Merge two graphs on structural identity of call paths.
+
+        Returns ``(union_graph, map_self, map_other)`` where the maps
+        send nodes of the input graphs to nodes of the union graph.
+        This realizes the paper's call-tree matching step: nodes whose
+        path of frames from the root coincides are identified.
+        """
+        from .union import union_graphs
+
+        return union_graphs(self, other)

@@ -1,0 +1,59 @@
+"""Graph union on structural identity.
+
+Two nodes are identified when their *call paths* — the sequence of
+frames from a root — are equal.  For labelled call trees this is
+exactly the intersection/union of the trees the paper computes via
+labelled-graph isomorphism: paths are canonical names for nodes, so
+matching paths ⇔ an isomorphism of the shared subtree that preserves
+labels.  The union graph contains one node per distinct path across
+both inputs.
+"""
+
+from __future__ import annotations
+
+from .graph import Graph
+from .node import Frame, Node
+
+__all__ = ["union_graphs", "union_many"]
+
+
+def union_graphs(a: Graph, b: Graph) -> tuple[Graph, dict[Node, Node], dict[Node, Node]]:
+    """Union of two graphs; see :meth:`repro.graph.graph.Graph.union`."""
+    union, maps = union_many([a, b])
+    return union, maps[0], maps[1]
+
+
+def union_many(graphs: list[Graph]) -> tuple[Graph, list[dict[Node, Node]]]:
+    """Union of any number of graphs in one pass.
+
+    Returns the union graph plus, per input graph, a mapping from its
+    nodes to union nodes.  Children keep first-seen order so the union
+    of identical graphs reproduces the input ordering.
+    """
+    path_to_node: dict[tuple[Frame, ...], Node] = {}
+    roots: list[Node] = []
+    maps: list[dict[Node, Node]] = []
+
+    for graph in graphs:
+        mapping: dict[Node, Node] = {}
+
+        def visit(node: Node, parent_union: Node | None, path: tuple[Frame, ...]) -> None:
+            path = path + (node.frame,)
+            union_node = path_to_node.get(path)
+            if union_node is None:
+                union_node = Node(node.frame)
+                path_to_node[path] = union_node
+                if parent_union is None:
+                    roots.append(union_node)
+                else:
+                    parent_union.connect(union_node)
+            mapping[node] = union_node
+            for child in node.children:
+                visit(child, union_node, path)
+
+        for root in graph.roots:
+            visit(root, None, ())
+        maps.append(mapping)
+
+    union = Graph(roots)
+    return union, maps

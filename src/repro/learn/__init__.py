@@ -1,0 +1,21 @@
+"""``repro.learn`` — data-science algorithms (scikit-learn substitute)."""
+
+from .cluster import KMeans, kmeans_plus_plus
+from .decomposition import PCA
+from .hierarchy import AgglomerativeClustering, cut_tree, linkage_matrix
+from .metrics import best_k_by_silhouette, silhouette_samples, silhouette_score
+from .preprocessing import MinMaxScaler, StandardScaler
+
+__all__ = [
+    "KMeans",
+    "kmeans_plus_plus",
+    "PCA",
+    "AgglomerativeClustering",
+    "linkage_matrix",
+    "cut_tree",
+    "StandardScaler",
+    "MinMaxScaler",
+    "silhouette_score",
+    "silhouette_samples",
+    "best_k_by_silhouette",
+]

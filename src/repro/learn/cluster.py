@@ -1,0 +1,118 @@
+"""K-means clustering (Lloyd's algorithm with k-means++ seeding).
+
+The paper clusters RAJA "Stream" kernels by their top-down metrics and
+speedup (§4.2.2, Fig. 10) using scikit-learn's K-means, which this
+module re-implements: greedy k-means++ initialization (D² sampling),
+Lloyd iterations to convergence, multiple restarts keeping the lowest
+inertia.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KMeans", "kmeans_plus_plus"]
+
+
+def kmeans_plus_plus(X: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """D²-weighted initial centers (Arthur & Vassilvitskii 2007)."""
+    n = len(X)
+    centers = np.empty((k, X.shape[1]), dtype=np.float64)
+    centers[0] = X[rng.integers(n)]
+    closest_sq = ((X - centers[0]) ** 2).sum(axis=1)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0.0:
+            # all points coincide with chosen centers; pick uniformly
+            centers[i] = X[rng.integers(n)]
+            continue
+        probs = closest_sq / total
+        centers[i] = X[rng.choice(n, p=probs)]
+        dist_sq = ((X - centers[i]) ** 2).sum(axis=1)
+        np.minimum(closest_sq, dist_sq, out=closest_sq)
+    return centers
+
+
+class KMeans:
+    """Lloyd's K-means with restarts.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters *k*.
+    n_init:
+        Independent restarts; the run with the lowest inertia wins.
+    max_iter / tol:
+        Lloyd iteration limits.
+    random_state:
+        Seed for reproducible clustering.
+    """
+
+    def __init__(self, n_clusters: int = 8, n_init: int = 10,
+                 max_iter: int = 300, tol: float = 1e-4,
+                 random_state: int | None = None):
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.random_state = random_state
+        self.cluster_centers_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.inertia_: float = float("inf")
+        self.n_iter_: int = 0
+
+    # ------------------------------------------------------------------
+    def fit(self, X) -> "KMeans":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("expected a 2-D feature matrix")
+        if len(X) < self.n_clusters:
+            raise ValueError(
+                f"n_samples={len(X)} < n_clusters={self.n_clusters}"
+            )
+        rng = np.random.default_rng(self.random_state)
+        best = (float("inf"), None, None, 0)
+        for _ in range(self.n_init):
+            centers, labels, inertia, iters = self._lloyd(X, rng)
+            if inertia < best[0]:
+                best = (inertia, centers, labels, iters)
+        self.inertia_, self.cluster_centers_, self.labels_, self.n_iter_ = best
+        return self
+
+    def _lloyd(self, X: np.ndarray, rng: np.random.Generator):
+        centers = kmeans_plus_plus(X, self.n_clusters, rng)
+        labels = np.zeros(len(X), dtype=np.intp)
+        for iteration in range(1, self.max_iter + 1):
+            # assignment step (vectorized distance matrix)
+            d2 = ((X[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+            labels = d2.argmin(axis=1)
+            # update step
+            new_centers = centers.copy()
+            for c in range(self.n_clusters):
+                members = X[labels == c]
+                if len(members):
+                    new_centers[c] = members.mean(axis=0)
+                else:
+                    # re-seed an empty cluster at the worst-fit point
+                    worst = d2.min(axis=1).argmax()
+                    new_centers[c] = X[worst]
+            shift = np.sqrt(((new_centers - centers) ** 2).sum(axis=1)).max()
+            centers = new_centers
+            if shift <= self.tol:
+                break
+        d2 = ((X[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        labels = d2.argmin(axis=1)
+        inertia = float(d2[np.arange(len(X)), labels].sum())
+        return centers, labels, inertia, iteration
+
+    def predict(self, X) -> np.ndarray:
+        if self.cluster_centers_ is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        d2 = ((X[:, None, :] - self.cluster_centers_[None, :, :]) ** 2).sum(axis=2)
+        return d2.argmin(axis=1)
+
+    def fit_predict(self, X) -> np.ndarray:
+        return self.fit(X).labels_

@@ -1,0 +1,63 @@
+"""Principal component analysis (the scikit-learn ``PCA`` substitute).
+
+The paper lists PCA among the data-science techniques Thicket feeds
+(§2); implemented via SVD of the centered data matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PCA"]
+
+
+class PCA:
+    """Linear dimensionality reduction via SVD.
+
+    Parameters
+    ----------
+    n_components:
+        Number of components to keep (default: all).
+    """
+
+    def __init__(self, n_components: int | None = None):
+        self.n_components = n_components
+        self.mean_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None
+        self.explained_variance_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+        self.singular_values_: np.ndarray | None = None
+
+    def fit(self, X) -> "PCA":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("expected a 2-D feature matrix")
+        n, p = X.shape
+        k = self.n_components or min(n, p)
+        if k > min(n, p):
+            raise ValueError(f"n_components={k} > min(n_samples, n_features)")
+        self.mean_ = X.mean(axis=0)
+        centered = X - self.mean_
+        # economy SVD; components are right singular vectors
+        _, s, vt = np.linalg.svd(centered, full_matrices=False)
+        var = (s ** 2) / max(n - 1, 1)
+        total = var.sum() or 1.0
+        self.components_ = vt[:k]
+        self.singular_values_ = s[:k]
+        self.explained_variance_ = var[:k]
+        self.explained_variance_ratio_ = var[:k] / total
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.components_ is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        return (X - self.mean_) @ self.components_.T
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        if self.components_ is None:
+            raise RuntimeError("model is not fitted")
+        return np.asarray(X, dtype=np.float64) @ self.components_ + self.mean_

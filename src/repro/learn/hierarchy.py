@@ -1,0 +1,136 @@
+"""Agglomerative (hierarchical) clustering.
+
+Completes the scikit-learn substitute's clustering options: bottom-up
+merging with single/complete/average linkage, a scipy-compatible
+linkage matrix, and a flat cut by cluster count.  Useful in EDA when
+the number of kernel behaviour groups is unknown and a dendrogram-style
+view is preferred over K-means.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["linkage_matrix", "AgglomerativeClustering", "cut_tree"]
+
+_LINKAGES = ("single", "complete", "average")
+
+
+def _pairwise(X: np.ndarray) -> np.ndarray:
+    sq = (X ** 2).sum(axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (X @ X.T)
+    np.maximum(d2, 0.0, out=d2)
+    return np.sqrt(d2)
+
+
+def linkage_matrix(X, method: str = "average") -> np.ndarray:
+    """Scipy-compatible (n-1, 4) linkage matrix via naive agglomeration.
+
+    Row i: ``[cluster_a, cluster_b, distance, new_cluster_size]`` with
+    original points numbered 0..n-1 and merged clusters n, n+1, ...
+    Lance-Williams updates keep the three supported linkages exact.
+    """
+    if method not in _LINKAGES:
+        raise ValueError(f"method must be one of {_LINKAGES}")
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError("expected a 2-D feature matrix")
+    n = len(X)
+    if n < 2:
+        raise ValueError("need at least two samples")
+
+    dist = _pairwise(X)
+    np.fill_diagonal(dist, np.inf)
+    active: dict[int, int] = {i: 1 for i in range(n)}  # cluster id -> size
+    position = {i: i for i in range(n)}  # cluster id -> matrix row
+    out = np.zeros((n - 1, 4))
+    next_id = n
+
+    for step in range(n - 1):
+        ids = list(active)
+        rows = [position[i] for i in ids]
+        sub = dist[np.ix_(rows, rows)]
+        flat = np.argmin(sub)
+        ai, bi = divmod(flat, len(ids))
+        a, b = ids[ai], ids[bi]
+        if a > b:
+            a, b = b, a
+        d = float(sub[ai, bi])
+        size = active[a] + active[b]
+        out[step] = [a, b, d, size]
+
+        # Lance-Williams update of distances to the merged cluster,
+        # stored in a's row; b's row is retired.
+        ra, rb = position[a], position[b]
+        da, db = dist[ra].copy(), dist[rb].copy()
+        if method == "single":
+            merged = np.minimum(da, db)
+        elif method == "complete":
+            merged = np.maximum(da, db)
+        else:  # average
+            wa, wb = active[a], active[b]
+            merged = (wa * da + wb * db) / (wa + wb)
+        dist[ra, :] = merged
+        dist[:, ra] = merged
+        dist[ra, ra] = np.inf
+        dist[rb, :] = np.inf
+        dist[:, rb] = np.inf
+
+        del active[a], active[b]
+        del position[a], position[b]
+        active[next_id] = size
+        position[next_id] = ra
+        next_id += 1
+    return out
+
+
+def cut_tree(Z: np.ndarray, n_clusters: int) -> np.ndarray:
+    """Flat labels from a linkage matrix by stopping early.
+
+    Performing only the first ``n - n_clusters`` merges leaves exactly
+    *n_clusters* groups; labels are renumbered 0..k-1 in order of first
+    appearance.
+    """
+    n = len(Z) + 1
+    if not 1 <= n_clusters <= n:
+        raise ValueError(f"n_clusters must be in [1, {n}]")
+    parent = list(range(n + len(Z)))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for step in range(n - n_clusters):
+        a, b = int(Z[step, 0]), int(Z[step, 1])
+        new = n + step
+        parent[find(a)] = new
+        parent[find(b)] = new
+
+    labels = np.empty(n, dtype=np.intp)
+    remap: dict[int, int] = {}
+    for i in range(n):
+        root = find(i)
+        labels[i] = remap.setdefault(root, len(remap))
+    return labels
+
+
+class AgglomerativeClustering:
+    """Bottom-up clustering with a fit/fit_predict interface."""
+
+    def __init__(self, n_clusters: int = 2, linkage: str = "average"):
+        if linkage not in _LINKAGES:
+            raise ValueError(f"linkage must be one of {_LINKAGES}")
+        self.n_clusters = n_clusters
+        self.linkage = linkage
+        self.labels_: np.ndarray | None = None
+        self.linkage_matrix_: np.ndarray | None = None
+
+    def fit(self, X) -> "AgglomerativeClustering":
+        self.linkage_matrix_ = linkage_matrix(X, method=self.linkage)
+        self.labels_ = cut_tree(self.linkage_matrix_, self.n_clusters)
+        return self
+
+    def fit_predict(self, X) -> np.ndarray:
+        return self.fit(X).labels_

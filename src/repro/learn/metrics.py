@@ -1,0 +1,74 @@
+"""Clustering quality metrics.
+
+Silhouette analysis (Rousseeuw 1987, cited by the paper) is how the
+case study picks the number of K-means clusters before producing
+Fig. 10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["silhouette_samples", "silhouette_score", "best_k_by_silhouette"]
+
+
+def _pairwise_sq(X: np.ndarray) -> np.ndarray:
+    sq = (X ** 2).sum(axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (X @ X.T)
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
+def silhouette_samples(X, labels) -> np.ndarray:
+    """Per-sample silhouette coefficient ``(b - a) / max(a, b)``."""
+    X = np.asarray(X, dtype=np.float64)
+    labels = np.asarray(labels)
+    n = len(X)
+    if n != len(labels):
+        raise ValueError("X and labels length mismatch")
+    uniq = np.unique(labels)
+    if len(uniq) < 2:
+        raise ValueError("silhouette requires at least 2 clusters")
+    dist = np.sqrt(_pairwise_sq(X))
+    sil = np.zeros(n)
+    members = {c: np.where(labels == c)[0] for c in uniq}
+    for i in range(n):
+        own = members[labels[i]]
+        if len(own) == 1:
+            sil[i] = 0.0
+            continue
+        a = dist[i, own].sum() / (len(own) - 1)
+        b = min(
+            dist[i, members[c]].mean() for c in uniq if c != labels[i]
+        )
+        sil[i] = (b - a) / max(a, b) if max(a, b) > 0 else 0.0
+    return sil
+
+
+def silhouette_score(X, labels) -> float:
+    """Mean silhouette coefficient over all samples."""
+    return float(silhouette_samples(X, labels).mean())
+
+
+def best_k_by_silhouette(X, k_range=range(2, 8), random_state: int | None = 0,
+                         n_init: int = 10) -> tuple[int, dict[int, float]]:
+    """Pick the cluster count maximizing the silhouette score.
+
+    Returns ``(best_k, {k: score})`` — the Silhouette analysis step the
+    paper runs before clustering (§4.2.2).
+    """
+    from .cluster import KMeans
+
+    scores: dict[int, float] = {}
+    X = np.asarray(X, dtype=np.float64)
+    for k in k_range:
+        if k >= len(X):
+            continue
+        km = KMeans(n_clusters=k, n_init=n_init, random_state=random_state).fit(X)
+        if len(np.unique(km.labels_)) < 2:
+            continue
+        scores[k] = silhouette_score(X, km.labels_)
+    if not scores:
+        raise ValueError("no feasible k in range")
+    best = max(scores, key=scores.get)
+    return best, scores

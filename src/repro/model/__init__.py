@@ -1,0 +1,23 @@
+"""``repro.model`` — empirical performance modeling (Extra-P substitute)."""
+
+from .model import Model
+from .modeler import ExtrapInterface, Modeler
+from .multiparam import (
+    MultiParameterModel,
+    MultiParameterModeler,
+    model_thicket_multiparam,
+)
+from .terms import EXPONENTS, LOG_POWERS, Term, default_hypothesis_space
+
+__all__ = [
+    "Model",
+    "MultiParameterModel",
+    "MultiParameterModeler",
+    "model_thicket_multiparam",
+    "Modeler",
+    "ExtrapInterface",
+    "Term",
+    "default_hypothesis_space",
+    "EXPONENTS",
+    "LOG_POWERS",
+]

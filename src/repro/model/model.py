@@ -1,0 +1,77 @@
+"""Fitted performance models.
+
+A :class:`Model` is ``c0 + c1 * term(p)`` — evaluable, comparable by
+fit quality, and printable in the format of the paper's Fig. 11, e.g.
+``200.23 + -18.28 * p^(1/3)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .terms import Term
+
+__all__ = ["Model"]
+
+
+class Model:
+    """An analytic scaling function fit to measurements."""
+
+    __slots__ = ("intercept", "coefficient", "term", "rss", "r_squared",
+                 "adjusted_r_squared", "smape", "parameter", "metric")
+
+    def __init__(self, intercept: float, coefficient: float, term: Term,
+                 rss: float = float("nan"), r_squared: float = float("nan"),
+                 adjusted_r_squared: float = float("nan"),
+                 smape: float = float("nan"),
+                 parameter: str = "p", metric: str | None = None):
+        self.intercept = float(intercept)
+        self.coefficient = float(coefficient)
+        self.term = term
+        self.rss = rss
+        self.r_squared = r_squared
+        self.adjusted_r_squared = adjusted_r_squared
+        self.smape = smape
+        self.parameter = parameter
+        self.metric = metric
+
+    def evaluate(self, p) -> np.ndarray | float:
+        """Predicted metric value(s) at parameter value(s) *p*."""
+        p_arr = np.asarray(p, dtype=np.float64)
+        out = self.intercept + self.coefficient * self.term.evaluate(p_arr)
+        return float(out) if np.isscalar(p) or p_arr.ndim == 0 else out
+
+    __call__ = evaluate
+
+    def is_constant(self) -> bool:
+        return self.coefficient == 0.0 or self.term.is_constant()
+
+    def degree(self) -> float:
+        """Asymptotic growth degree (for ranking scalability bugs).
+
+        Pure powers return their exponent; log factors add a small
+        epsilon per power so ``p`` > ``p/log`` boundaries still order
+        (log growth ranks just above constant).
+        """
+        if self.is_constant():
+            return 0.0
+        return float(self.term.exponent) + 0.01 * self.term.log_power
+
+    def is_growing(self) -> bool:
+        """True when the modeled metric grows without bound in *p*."""
+        if self.is_constant():
+            return False
+        term_rises = self.term.exponent > 0 or (
+            self.term.exponent == 0 and self.term.log_power > 0)
+        return self.coefficient > 0 and term_rises
+
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        term_str = str(self.term).replace("p", self.parameter)
+        if self.is_constant():
+            return f"{self.intercept}"
+        return f"{self.intercept} + {self.coefficient} * {term_str}"
+
+    def __repr__(self) -> str:
+        return (f"Model({self.__str__()}, R2={self.r_squared:.4f}, "
+                f"SMAPE={self.smape:.2f}%)")

@@ -1,0 +1,93 @@
+"""Performance Model Normal Form (PMNF) terms.
+
+Extra-P (Calotoiu et al., SC'13 — cited by the paper) models a metric
+as a function of a resource parameter *p* from the hypothesis space
+
+.. math::  f(p) = c_0 + \\sum_k c_k \\cdot p^{i_k} \\cdot \\log_2^{j_k}(p)
+
+with rational exponents *i* from a small candidate set and integer log
+powers *j*.  This module enumerates the single-term hypothesis space
+used by the modeler (one compute term plus a constant, Extra-P's
+default search for one parameter).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["Term", "default_hypothesis_space", "EXPONENTS", "LOG_POWERS"]
+
+# Extra-P's default exponent candidates (subset, covering the common
+# scaling regimes: constant, cube-root surface terms, linear, quadratic)
+EXPONENTS: tuple[Fraction, ...] = (
+    Fraction(0, 1),
+    Fraction(1, 4), Fraction(1, 3), Fraction(1, 2),
+    Fraction(2, 3), Fraction(3, 4), Fraction(1, 1),
+    Fraction(4, 3), Fraction(3, 2), Fraction(2, 1),
+    Fraction(5, 2), Fraction(3, 1),
+    Fraction(-1, 3), Fraction(-1, 2), Fraction(-2, 3), Fraction(-1, 1),
+)
+LOG_POWERS: tuple[int, ...] = (0, 1, 2)
+
+
+class Term:
+    """One PMNF term ``p^exponent * log2(p)^log_power``."""
+
+    __slots__ = ("exponent", "log_power")
+
+    def __init__(self, exponent: Fraction | float, log_power: int = 0):
+        self.exponent = Fraction(exponent).limit_denominator(12)
+        self.log_power = int(log_power)
+
+    def evaluate(self, p: np.ndarray | float) -> np.ndarray | float:
+        p = np.asarray(p, dtype=np.float64)
+        value = np.power(p, float(self.exponent))
+        if self.log_power:
+            value = value * np.log2(p) ** self.log_power
+        return value
+
+    def is_constant(self) -> bool:
+        return self.exponent == 0 and self.log_power == 0
+
+    # -- formatting ------------------------------------------------------
+    def __str__(self) -> str:
+        parts = []
+        if self.exponent != 0:
+            parts.append(f"p^({self.exponent})")
+        if self.log_power:
+            parts.append(f"log2(p)^{self.log_power}" if self.log_power > 1
+                         else "log2(p)")
+        return " * ".join(parts) if parts else "1"
+
+    def __repr__(self) -> str:
+        return f"Term({self.exponent}, log={self.log_power})"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Term)
+                and self.exponent == other.exponent
+                and self.log_power == other.log_power)
+
+    def __hash__(self) -> int:
+        return hash((self.exponent, self.log_power))
+
+
+def default_hypothesis_space(
+    exponents: Iterable[Fraction] = EXPONENTS,
+    log_powers: Iterable[int] = LOG_POWERS,
+    allow_negative: bool = True,
+) -> list[Term]:
+    """All candidate non-constant terms for the single-parameter search."""
+    terms = []
+    for e in exponents:
+        if not allow_negative and e < 0:
+            continue
+        for j in log_powers:
+            if e == 0 and j == 0:
+                continue  # the constant is always in the model
+            if e < 0 and j > 0:
+                continue  # decaying log terms are not in Extra-P's default space
+            terms.append(Term(e, j))
+    return terms

@@ -1,0 +1,17 @@
+"""``repro.query`` — the Call Path Query Language (Hatchet dialects)."""
+
+from .dialect import QuerySyntaxError, parse_string_dialect
+from .engine import match_graph, match_paths
+from .matcher import QueryMatcher
+from .primitives import QueryNode, attr_predicate, parse_quantifier
+
+__all__ = [
+    "QueryMatcher",
+    "parse_string_dialect",
+    "QuerySyntaxError",
+    "QueryNode",
+    "attr_predicate",
+    "parse_quantifier",
+    "match_graph",
+    "match_paths",
+]

@@ -1,0 +1,255 @@
+"""String-based dialect of the Call Path Query Language.
+
+Hatchet (and therefore Thicket) ships a Cypher-inspired string syntax
+alongside the object/fluent APIs; this module implements it::
+
+    MATCH (".", p)->("*")->(".", q)
+    WHERE p."name" = "Base_CUDA" AND q."name" =~ ".*block_128"
+
+Grammar (informal):
+
+.. code-block:: text
+
+    query      := MATCH pattern [WHERE predicate]
+    pattern    := step ("->" step)*
+    step       := "(" quantifier ["," ident] ")"
+    quantifier := '"."' | '"*"' | '"+"' | INT
+    predicate  := disjunction of conjunctions of comparisons
+    comparison := ident '.' STRING op literal | NOT comparison
+                  | "(" predicate ")"
+    op         := = | != | < | <= | > | >= | =~   (regex full-match)
+
+Comparisons on a node bound to an ensemble row apply Thicket's
+``.all()`` semantics: every profile's value must satisfy the test.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable
+
+from .matcher import QueryMatcher
+from .primitives import QueryNode
+
+__all__ = ["parse_string_dialect", "QuerySyntaxError"]
+
+
+class QuerySyntaxError(ValueError):
+    """Raised for malformed string-dialect queries."""
+
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<arrow>->)
+  | (?P<op><=|>=|!=|=~|=|<|>)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<dot>\.)
+  | (?P<word>[A-Za-z_][A-Za-z_0-9]*)
+""", re.VERBOSE)
+
+_KEYWORDS = {"MATCH", "WHERE", "AND", "OR", "NOT"}
+
+
+class _Token:
+    __slots__ = ("kind", "value", "pos")
+
+    def __init__(self, kind: str, value: str, pos: int):
+        self.kind = kind
+        self.value = value
+        self.pos = pos
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise QuerySyntaxError(
+                f"unexpected character {text[pos]!r} at position {pos}")
+        pos = m.end()
+        kind = m.lastgroup
+        if kind == "ws":
+            continue
+        value = m.group()
+        if kind == "word" and value.upper() in _KEYWORDS:
+            kind, value = "keyword", value.upper()
+        tokens.append(_Token(kind, value, m.start()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]):
+        self.tokens = tokens
+        self.i = 0
+
+    # -- token helpers ---------------------------------------------------
+    def peek(self) -> _Token | None:
+        return self.tokens[self.i] if self.i < len(self.tokens) else None
+
+    def next(self) -> _Token:
+        tok = self.peek()
+        if tok is None:
+            raise QuerySyntaxError("unexpected end of query")
+        self.i += 1
+        return tok
+
+    def expect(self, kind: str, value: str | None = None) -> _Token:
+        tok = self.next()
+        if tok.kind != kind or (value is not None and tok.value != value):
+            raise QuerySyntaxError(
+                f"expected {value or kind} at position {tok.pos}, "
+                f"got {tok.value!r}")
+        return tok
+
+    def accept(self, kind: str, value: str | None = None) -> _Token | None:
+        tok = self.peek()
+        if tok and tok.kind == kind and (value is None or tok.value == value):
+            self.i += 1
+            return tok
+        return None
+
+    # -- grammar ----------------------------------------------------------
+    def parse(self) -> QueryMatcher:
+        self.expect("keyword", "MATCH")
+        steps = [self._step()]
+        while self.accept("arrow"):
+            steps.append(self._step())
+
+        bindings = {name: idx for idx, (_, name) in enumerate(steps)
+                    if name is not None}
+        predicates: dict[int, Callable[[Any], bool]] = {}
+        if self.accept("keyword", "WHERE"):
+            expr = self._disjunction()
+            for name, idx in bindings.items():
+                predicates[idx] = _bind(expr, name)
+        if self.peek() is not None:
+            raise QuerySyntaxError(
+                f"trailing input at position {self.peek().pos}")
+
+        nodes = []
+        for idx, (quantifier, _name) in enumerate(steps):
+            nodes.append(QueryNode(quantifier, predicates.get(idx)))
+        return QueryMatcher(nodes)
+
+    def _step(self) -> tuple[str | int, str | None]:
+        self.expect("lparen")
+        tok = self.next()
+        if tok.kind == "string":
+            quantifier: str | int = _unquote(tok.value)
+            if quantifier not in (".", "*", "+"):
+                raise QuerySyntaxError(
+                    f"bad quantifier {quantifier!r} at position {tok.pos}")
+        elif tok.kind == "number":
+            quantifier = int(float(tok.value))
+        else:
+            raise QuerySyntaxError(
+                f"expected quantifier at position {tok.pos}")
+        name = None
+        if self.accept("comma"):
+            name = self.expect("word").value
+        self.expect("rparen")
+        return quantifier, name
+
+    # predicate expression tree: returns fn(bound_name, row) -> bool
+    def _disjunction(self):
+        left = self._conjunction()
+        while self.accept("keyword", "OR"):
+            right = self._conjunction()
+            left = _combine(left, right, lambda a, b: a or b)
+        return left
+
+    def _conjunction(self):
+        left = self._unary()
+        while self.accept("keyword", "AND"):
+            right = self._unary()
+            left = _combine(left, right, lambda a, b: a and b)
+        return left
+
+    def _unary(self):
+        if self.accept("keyword", "NOT"):
+            inner = self._unary()
+            return lambda name, row: not inner(name, row)
+        if self.accept("lparen"):
+            inner = self._disjunction()
+            self.expect("rparen")
+            return inner
+        return self._comparison()
+
+    def _comparison(self):
+        ident = self.expect("word").value
+        self.expect("dot")
+        attr = _unquote(self.expect("string").value)
+        op = self.expect("op").value
+        lit_tok = self.next()
+        if lit_tok.kind == "string":
+            literal: Any = _unquote(lit_tok.value)
+        elif lit_tok.kind == "number":
+            literal = float(lit_tok.value)
+        else:
+            raise QuerySyntaxError(
+                f"expected literal at position {lit_tok.pos}")
+        check = _scalar_check(op, literal)
+
+        def compare(name: str, row: Any) -> bool:
+            if name != ident:
+                return True  # comparison constrains a different binding
+            try:
+                value = row[attr]
+            except (KeyError, TypeError):
+                return False
+            if hasattr(value, "apply") and hasattr(value, "all"):
+                return bool(value.apply(check).all())
+            return bool(check(value))
+
+        return compare
+
+
+def _combine(left, right, op):
+    return lambda name, row: op(left(name, row), right(name, row))
+
+
+def _bind(expr, name: str) -> Callable[[Any], bool]:
+    return lambda row: expr(name, row)
+
+
+def _unquote(text: str) -> str:
+    return text[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+
+
+def _scalar_check(op: str, literal: Any) -> Callable[[Any], bool]:
+    if op == "=~":
+        pattern = re.compile(str(literal))
+        return lambda v: v is not None and pattern.fullmatch(str(v)) is not None
+    if op == "=":
+        return lambda v: v == literal or (
+            isinstance(v, (int, float)) and isinstance(literal, float)
+            and float(v) == literal)
+    if op == "!=":
+        return lambda v: v != literal
+    numeric = {
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+    }[op]
+
+    def check(v: Any) -> bool:
+        try:
+            return bool(numeric(float(v), float(literal)))
+        except (TypeError, ValueError):
+            return False
+
+    return check
+
+
+def parse_string_dialect(query: str) -> QueryMatcher:
+    """Compile a string-dialect query into a :class:`QueryMatcher`."""
+    return _Parser(_tokenize(query)).parse()

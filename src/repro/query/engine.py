@@ -1,0 +1,76 @@
+"""Path-matching engine: regex-style matching of queries over call trees.
+
+A query matches a *downward path* (contiguous parent→child chain).
+Matching starts at any node; the union of all nodes on all matched
+paths is the result (those are the rows Thicket keeps).  The engine is
+a backtracking walk with per-(node, query-position) memoization of
+failures, linear in practice on call trees.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .primitives import QueryNode
+
+__all__ = ["match_graph", "match_paths"]
+
+
+def match_paths(graph, query: list[QueryNode],
+                row_view: Callable[[Any], Any]) -> list[tuple]:
+    """All matched paths, each a tuple of call-tree nodes."""
+    pred_cache: dict[tuple[int, int], bool] = {}
+
+    def satisfied(node, qi: int) -> bool:
+        key = (id(node), qi)
+        if key not in pred_cache:
+            pred_cache[key] = query[qi].matches(row_view(node))
+        return pred_cache[key]
+
+    results: list[tuple] = []
+
+    def walk(node, qi: int, taken: int, path: tuple) -> None:
+        """Try to extend *path* with *node* against query node *qi*."""
+        q = query[qi]
+        # Option A: skip to the next query node without consuming, if the
+        # current one already satisfied its minimum.
+        if taken >= q.min_count and qi + 1 < len(query):
+            walk(node, qi + 1, 0, path)
+        # Option B: consume this node for the current query node.
+        if (q.max_count is None or taken < q.max_count) and satisfied(node, qi):
+            new_path = path + (node,)
+            new_taken = taken + 1
+            if qi == len(query) - 1 and new_taken >= q.min_count:
+                results.append(new_path)
+            for child in node.children:
+                walk(child, qi, new_taken, new_path)
+
+    def start(node) -> None:
+        # a path may begin at this node with query position 0, or, when
+        # leading query nodes allow zero matches, at a later position.
+        qi = 0
+        walk(node, qi, 0, ())
+        while qi + 1 < len(query) and query[qi].min_count == 0:
+            qi += 1
+            walk(node, qi, 0, ())
+
+    for node in graph.traverse():
+        start(node)
+    return results
+
+
+def match_graph(graph, query: list[QueryNode],
+                row_view: Callable[[Any], Any]) -> list:
+    """Union of nodes over all matched paths, in graph traversal order."""
+    if not query:
+        return []
+    matched: set[int] = set()
+    keep = []
+    for path in match_paths(graph, query, row_view):
+        for node in path:
+            if id(node) not in matched:
+                matched.add(id(node))
+                keep.append(node)
+    order = {id(n): i for i, n in enumerate(graph.traverse())}
+    keep.sort(key=lambda n: order[id(n)])
+    return keep

@@ -1,0 +1,89 @@
+"""The fluent QueryMatcher API (paper Fig. 8) and the object dialect.
+
+Example — find paths ``Base_CUDA → ... → *block_128`` exactly as in the
+paper::
+
+    query = (
+        QueryMatcher()
+        .match(".", lambda row: row["name"].apply(
+            lambda x: x == "Base_CUDA").all())
+        .rel("*")
+        .rel(".", lambda row: row["name"].apply(
+            lambda x: x.endswith("block_128")).all())
+    )
+
+Object dialect — the same query as data::
+
+    query = QueryMatcher.from_spec([
+        (".", {"name": "Base_CUDA"}),
+        ("*",),
+        (".", {"name": "~.*block_128"}),
+    ])
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from .primitives import QueryNode, attr_predicate
+
+__all__ = ["QueryMatcher"]
+
+
+class QueryMatcher:
+    """A compiled sequence of query nodes."""
+
+    def __init__(self, nodes: Iterable[QueryNode] | None = None):
+        self.query_nodes: list[QueryNode] = list(nodes or [])
+
+    # ------------------------------------------------------------------
+    # fluent construction
+    # ------------------------------------------------------------------
+    def match(self, quantifier: str | int = ".",
+              predicate: Callable[[Any], bool] | None = None) -> "QueryMatcher":
+        """Set the first query node (resets any existing query)."""
+        self.query_nodes = [QueryNode(quantifier, predicate)]
+        return self
+
+    def rel(self, quantifier: str | int = ".",
+            predicate: Callable[[Any], bool] | None = None) -> "QueryMatcher":
+        """Append a query node related to (descendant of) the previous one."""
+        if not self.query_nodes:
+            raise ValueError("call match() before rel()")
+        self.query_nodes.append(QueryNode(quantifier, predicate))
+        return self
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: Sequence[tuple]) -> "QueryMatcher":
+        """Build a matcher from the object dialect.
+
+        Each element is ``(quantifier,)`` or ``(quantifier, attr_dict)``.
+        """
+        nodes = []
+        for step in spec:
+            if len(step) == 1:
+                nodes.append(QueryNode(step[0]))
+            elif len(step) == 2:
+                quantifier, attrs = step
+                pred = attr_predicate(attrs) if isinstance(attrs, dict) else attrs
+                nodes.append(QueryNode(quantifier, pred))
+            else:
+                raise ValueError(f"bad query step {step!r}")
+        return cls(nodes)
+
+    def __len__(self) -> int:
+        return len(self.query_nodes)
+
+    def __repr__(self) -> str:
+        return f"QueryMatcher({[q.quantifier for q in self.query_nodes]!r})"
+
+    # ------------------------------------------------------------------
+    def apply(self, graph, row_view: Callable[[Any], Any]) -> list:
+        """Run the query; returns the matched call-tree nodes.
+
+        *row_view* maps a node to the mapping its predicates receive.
+        """
+        from .engine import match_graph
+
+        return match_graph(graph, self.query_nodes, row_view)

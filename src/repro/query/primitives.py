@@ -1,0 +1,111 @@
+"""Query-node primitives for the Call Path Query Language.
+
+A query is a sequence of *query nodes*; each query node pairs a
+**quantifier** (how many consecutive call-tree nodes it may match) with
+a **predicate** (what must hold for a call-tree node to match).  This
+mirrors Hatchet's query language as used by Thicket (§4.1.3, Fig. 8).
+
+Quantifiers:
+
+=========  =========================
+``"."``    exactly one node
+``"*"``    zero or more nodes
+``"+"``    one or more nodes
+``int k``  exactly *k* nodes
+=========  =========================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = ["QueryNode", "parse_quantifier", "attr_predicate"]
+
+Predicate = Callable[[Any], bool]
+
+
+def _always_true(_row: Any) -> bool:
+    return True
+
+
+def parse_quantifier(quantifier: str | int) -> tuple[int, int | None]:
+    """Convert a quantifier spec to ``(min_count, max_count)``.
+
+    ``max_count`` is ``None`` for unbounded quantifiers.
+    """
+    if isinstance(quantifier, bool):
+        raise TypeError("quantifier may not be a bool")
+    if isinstance(quantifier, int):
+        if quantifier < 0:
+            raise ValueError(f"negative quantifier {quantifier}")
+        return (quantifier, quantifier)
+    if quantifier == ".":
+        return (1, 1)
+    if quantifier == "*":
+        return (0, None)
+    if quantifier == "+":
+        return (1, None)
+    raise ValueError(f"unknown quantifier {quantifier!r}")
+
+
+class QueryNode:
+    """One step of a query: quantifier bounds plus a predicate."""
+
+    __slots__ = ("min_count", "max_count", "predicate", "quantifier")
+
+    def __init__(self, quantifier: str | int = ".",
+                 predicate: Predicate | None = None):
+        self.quantifier = quantifier
+        self.min_count, self.max_count = parse_quantifier(quantifier)
+        self.predicate = predicate or _always_true
+
+    def matches(self, row: Any) -> bool:
+        return bool(self.predicate(row))
+
+    def __repr__(self) -> str:
+        return f"QueryNode({self.quantifier!r})"
+
+
+def attr_predicate(attrs: dict[str, Any]) -> Predicate:
+    """Build a predicate from an attribute spec dict (the object dialect).
+
+    Spec values may be:
+
+    * an exact value (``{"name": "main"}``);
+    * a regex string prefixed with ``"~"`` (full-match);
+    * a comparison string for numeric columns (``{"time": "> 0.5"}``).
+
+    The predicate receives the node's *row view* — a mapping from column
+    name to either a scalar (single profile) or a Series of per-profile
+    values (ensembles); for Series, **all** profiles must satisfy the
+    spec (Thicket's `.all()` semantics).
+    """
+    import re
+
+    def check_scalar(value: Any, spec: Any) -> bool:
+        if isinstance(spec, str) and spec.startswith("~"):
+            return value is not None and re.fullmatch(spec[1:], str(value)) is not None
+        if isinstance(spec, str) and spec[:2].strip() in {"<", ">", "<=", ">=", "==", "!="}:
+            op, _, rhs = spec.partition(" ")
+            rhs_v = float(rhs)
+            v = float(value)
+            return {
+                "<": v < rhs_v, "<=": v <= rhs_v, ">": v > rhs_v,
+                ">=": v >= rhs_v, "==": v == rhs_v, "!=": v != rhs_v,
+            }[op]
+        return value == spec
+
+    def predicate(row: Any) -> bool:
+        for key, spec in attrs.items():
+            try:
+                value = row[key]
+            except (KeyError, TypeError):
+                return False
+            if hasattr(value, "apply") and hasattr(value, "all"):
+                if not value.apply(lambda v: check_scalar(v, spec)).all():
+                    return False
+            elif not check_scalar(value, spec):
+                return False
+        return True
+
+    return predicate

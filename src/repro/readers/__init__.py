@@ -1,0 +1,7 @@
+"""``repro.readers`` — profile readers (Caliper JSON, literal, NCU)."""
+
+from .caliper import read_cali_dict, read_cali_json
+from .literal import read_literal
+from .ncu import read_ncu_csv
+
+__all__ = ["read_cali_json", "read_cali_dict", "read_literal", "read_ncu_csv"]

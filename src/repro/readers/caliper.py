@@ -1,0 +1,78 @@
+"""Reader for cali-JSON ("json-split") profiles → GraphFrame.
+
+The inverse of :mod:`repro.caliper.writer`: rebuilds the call tree from
+the node/parent table, attaches per-node metric rows, and carries the
+profile globals as GraphFrame metadata.  This is the single-profile
+loading path Thicket builds on (the paper: "Thicket uses Hatchet's
+readers for loading in a single profile at a time").
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..frame import DataFrame, Index
+from ..graph import Frame, Graph, GraphFrame, Node
+
+__all__ = ["read_cali_json", "read_cali_dict"]
+
+
+def read_cali_dict(payload: Mapping[str, Any]) -> GraphFrame:
+    """Build a GraphFrame from a json-split dict."""
+    node_specs = payload["nodes"]
+    columns = payload["columns"]
+    data = payload["data"]
+    col_meta = payload.get("column_metadata") or [{} for _ in columns]
+
+    # rebuild the tree
+    nodes: list[Node] = []
+    roots: list[Node] = []
+    for spec in node_specs:
+        node = Node(Frame(name=spec["label"], type=spec.get("column", "path")))
+        parent_id = spec.get("parent")
+        if parent_id is None:
+            roots.append(node)
+        else:
+            nodes[parent_id].connect(node)
+        nodes.append(node)
+    graph = Graph(roots)
+
+    # locate the structural column (node-id) vs value columns
+    try:
+        path_pos = columns.index("path")
+    except ValueError:
+        path_pos = 0
+    value_cols = [
+        (j, c) for j, c in enumerate(columns)
+        if j != path_pos and col_meta[j].get("is_value", True)
+    ]
+
+    row_nodes: list[Node] = []
+    col_values: dict[str, list] = {c: [] for _, c in value_cols}
+    for row in data:
+        row_nodes.append(nodes[row[path_pos]])
+        for j, c in value_cols:
+            v = row[j]
+            col_values[c].append(np.nan if v is None else v)
+
+    frame_data: dict[Any, Any] = {"name": [n.frame.name for n in row_nodes]}
+    frame_data.update(col_values)
+    df = DataFrame(frame_data, index=Index(row_nodes, name="node"))
+
+    exc = [c for c in col_values if "(inc)" not in c]
+    inc = [c for c in col_values if "(inc)" in c]
+    default = "time (exc)" if "time (exc)" in col_values else None
+    return GraphFrame(graph, df, metadata=dict(payload.get("globals", {})),
+                      exc_metrics=exc, inc_metrics=inc, default_metric=default)
+
+
+def read_cali_json(path: str | Path) -> GraphFrame:
+    """Read one ``*.json`` profile file from disk."""
+    payload = json.loads(Path(path).read_text())
+    gf = read_cali_dict(payload)
+    gf.metadata.setdefault("profile.file", str(path))
+    return gf

@@ -1,0 +1,19 @@
+"""Literal (nested-dict) reader — handy for tests and small examples."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..graph import GraphFrame
+
+__all__ = ["read_literal"]
+
+
+def read_literal(literal: list[Mapping], metadata: Mapping[str, Any] | None = None
+                 ) -> GraphFrame:
+    """Build a GraphFrame from the nested-dict format of
+    :meth:`repro.graph.GraphFrame.from_literal`, with optional metadata."""
+    gf = GraphFrame.from_literal(list(literal))
+    if metadata:
+        gf.metadata.update(metadata)
+    return gf

@@ -1,0 +1,50 @@
+"""Reader for Nsight-Compute-style per-kernel metric reports.
+
+NCU exports per-kernel CSV tables (one row per kernel × metric).  The
+synthetic NCU generator (:mod:`repro.workloads.ncu`) writes the same
+shape; this reader pivots it to a DataFrame with one row per kernel and
+one column per metric, keyed by kernel (= call-tree node) name, ready
+to be attached to a Thicket via ``Thicket.add_ncu``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from ..frame import DataFrame, Index
+
+__all__ = ["read_ncu_csv"]
+
+
+def read_ncu_csv(path: str | Path) -> DataFrame:
+    """Parse an NCU CSV report (``kernel,metric,value`` rows)."""
+    text = Path(path).read_text()
+    rows = list(csv.reader(io.StringIO(text)))
+    if not rows:
+        return DataFrame()
+    header = rows[0]
+    try:
+        k_col = header.index("kernel")
+        m_col = header.index("metric")
+        v_col = header.index("value")
+    except ValueError as exc:
+        raise ValueError(
+            f"NCU report must have kernel/metric/value columns, got {header}"
+        ) from exc
+
+    kernels: dict[str, dict[str, float]] = {}
+    metrics: dict[str, None] = {}
+    for row in rows[1:]:
+        if not row:
+            continue
+        kernel, metric, value = row[k_col], row[m_col], float(row[v_col])
+        kernels.setdefault(kernel, {})[metric] = value
+        metrics.setdefault(metric, None)
+
+    names = list(kernels)
+    data = {
+        m: [kernels[k].get(m, float("nan")) for k in names] for m in metrics
+    }
+    return DataFrame(data, index=Index(names, name="kernel"))

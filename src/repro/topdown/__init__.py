@@ -1,0 +1,25 @@
+"""``repro.topdown`` — Intel top-down analysis (Yasin 2014) substitute."""
+
+from .counters import (
+    KernelCharacter,
+    slot_distribution,
+    slot_distribution_level2,
+)
+from .metrics import (
+    TOPDOWN_LEVEL2_METRICS,
+    TOPDOWN_METRICS,
+    derive_topdown,
+    derive_topdown_level2,
+    validate_topdown,
+)
+
+__all__ = [
+    "KernelCharacter",
+    "slot_distribution",
+    "slot_distribution_level2",
+    "TOPDOWN_METRICS",
+    "TOPDOWN_LEVEL2_METRICS",
+    "derive_topdown",
+    "derive_topdown_level2",
+    "validate_topdown",
+]

@@ -1,0 +1,102 @@
+"""Yasin top-down metric derivation (§5.1.1).
+
+Top-down analysis (Yasin 2014) attributes CPU pipeline *slots* to four
+top-level categories; the fractions sum to 1:
+
+* **retiring** — slots that retired useful µops;
+* **frontend bound** — slots starved of µops by the frontend;
+* **backend bound** — slots stalled on data/compute resources;
+* **bad speculation** — slots wasted on mispredicted paths.
+
+Real hardware exposes the inputs through counters
+(``UOPS_RETIRED.RETIRE_SLOTS``, ``IDQ_UOPS_NOT_DELIVERED.CORE``, ...);
+our synthetic counter service accumulates the slot counts directly and
+this module normalizes them into the four fractions Caliper's topdown
+module reports.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = ["TOPDOWN_METRICS", "TOPDOWN_LEVEL2_METRICS", "derive_topdown",
+           "derive_topdown_level2", "validate_topdown"]
+
+TOPDOWN_METRICS = (
+    "Retiring",
+    "Frontend bound",
+    "Backend bound",
+    "Bad speculation",
+)
+
+# Yasin's level-2 subdivision of each top-level category.
+TOPDOWN_LEVEL2_METRICS = {
+    "Retiring": ("Base", "Microcode sequencer"),
+    "Frontend bound": ("Fetch latency", "Fetch bandwidth"),
+    "Backend bound": ("Memory bound", "Core bound"),
+    "Bad speculation": ("Branch mispredicts", "Machine clears"),
+}
+
+_SLOT_TO_METRIC = {
+    "slots_retiring": "Retiring",
+    "slots_frontend_bound": "Frontend bound",
+    "slots_backend_bound": "Backend bound",
+    "slots_bad_speculation": "Bad speculation",
+}
+
+# level-2 counters → (parent category, sub-metric)
+_SLOT_TO_LEVEL2 = {
+    "slots_retiring_base": ("Retiring", "Base"),
+    "slots_retiring_ms": ("Retiring", "Microcode sequencer"),
+    "slots_frontend_latency": ("Frontend bound", "Fetch latency"),
+    "slots_frontend_bandwidth": ("Frontend bound", "Fetch bandwidth"),
+    "slots_backend_memory": ("Backend bound", "Memory bound"),
+    "slots_backend_core": ("Backend bound", "Core bound"),
+    "slots_badspec_branch": ("Bad speculation", "Branch mispredicts"),
+    "slots_badspec_clears": ("Bad speculation", "Machine clears"),
+}
+
+
+def derive_topdown(counters: Mapping[str, float]) -> dict[str, float]:
+    """Normalize raw slot counters into top-level top-down fractions."""
+    slots = {m: float(counters.get(s, 0.0)) for s, m in _SLOT_TO_METRIC.items()}
+    total = sum(slots.values())
+    if total <= 0.0:
+        return {m: 0.0 for m in TOPDOWN_METRICS}
+    return {m: v / total for m, v in slots.items()}
+
+
+def derive_topdown_level2(counters: Mapping[str, float]) -> dict[str, float]:
+    """Level-2 fractions of total slots (Yasin's hierarchical model).
+
+    Sub-category counters (e.g. ``slots_backend_memory`` /
+    ``slots_backend_core``) partition their parent's slots; the derived
+    fractions are of *total* slots, so each pair sums to its parent's
+    top-level fraction.  Parents without sub-counters split evenly —
+    the documented fallback when level-2 events are not collected.
+    """
+    level1 = derive_topdown(counters)
+    out: dict[str, float] = {}
+    for parent, subs in TOPDOWN_LEVEL2_METRICS.items():
+        sub_slots = {}
+        for slot, (par, sub) in _SLOT_TO_LEVEL2.items():
+            if par == parent:
+                sub_slots[sub] = float(counters.get(slot, 0.0))
+        total = sum(sub_slots.values())
+        parent_frac = level1[parent]
+        for sub in subs:
+            if total > 0:
+                out[sub] = parent_frac * sub_slots.get(sub, 0.0) / total
+            else:
+                out[sub] = parent_frac / len(subs)
+    return out
+
+
+def validate_topdown(metrics: Mapping[str, float], tol: float = 1e-9) -> bool:
+    """Check the top-down invariant: fractions in [0,1] summing to 1 (or all 0)."""
+    values = [float(metrics.get(m, 0.0)) for m in TOPDOWN_METRICS]
+    if all(v == 0.0 for v in values):
+        return True
+    if any(v < -tol or v > 1.0 + tol for v in values):
+        return False
+    return abs(sum(values) - 1.0) <= 1e-6

@@ -1,0 +1,55 @@
+"""``repro.viz`` — terminal and SVG visualizations of thicket data."""
+
+from .boxplot import boxplot_svg, boxplot_text
+from .color import CATEGORICAL, TOPDOWN_COLORS, diverging, sequential
+from .export import export_json, pcp_payload, tree_table_payload
+from .heatmap import find_outlier_cells, heatmap_svg, heatmap_text
+from .histogram import (
+    histogram_counts,
+    histogram_svg,
+    histogram_text,
+    node_metric_values,
+)
+from .line import line_plot_svg, scaling_plot_svg
+from .parallel_coords import (
+    axis_values,
+    crossing_fraction,
+    parallel_coordinates_svg,
+)
+from .scatter import axis_ticks, scatter_svg
+from .stacked_bar import topdown_svg, topdown_table, topdown_text
+from .svg import SVGCanvas
+from .table import table_svg
+from .tree import render_tree
+
+__all__ = [
+    "render_tree",
+    "SVGCanvas",
+    "boxplot_svg",
+    "boxplot_text",
+    "sequential",
+    "diverging",
+    "CATEGORICAL",
+    "TOPDOWN_COLORS",
+    "heatmap_svg",
+    "heatmap_text",
+    "find_outlier_cells",
+    "histogram_counts",
+    "histogram_svg",
+    "histogram_text",
+    "node_metric_values",
+    "scatter_svg",
+    "axis_ticks",
+    "parallel_coordinates_svg",
+    "crossing_fraction",
+    "axis_values",
+    "line_plot_svg",
+    "scaling_plot_svg",
+    "topdown_svg",
+    "topdown_table",
+    "topdown_text",
+    "tree_table_payload",
+    "pcp_payload",
+    "export_json",
+    "table_svg",
+]

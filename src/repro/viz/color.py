@@ -1,0 +1,44 @@
+"""Colormaps and categorical palettes for the visualizations."""
+
+from __future__ import annotations
+
+__all__ = ["sequential", "diverging", "CATEGORICAL", "TOPDOWN_COLORS", "hex_color"]
+
+# Paul Tol's bright palette — colourblind-safe categorical colours.
+CATEGORICAL = [
+    "#4477AA", "#EE6677", "#228833", "#CCBB44",
+    "#66CCEE", "#AA3377", "#BBBBBB", "#000000",
+]
+
+# Fixed colours for the four top-down categories (Fig. 14 legend order).
+TOPDOWN_COLORS = {
+    "Retiring": "#228833",
+    "Frontend bound": "#CCBB44",
+    "Backend bound": "#4477AA",
+    "Bad speculation": "#EE6677",
+}
+
+
+def hex_color(r: float, g: float, b: float) -> str:
+    clip = lambda v: max(0, min(255, int(round(v * 255))))  # noqa: E731
+    return f"#{clip(r):02x}{clip(g):02x}{clip(b):02x}"
+
+
+def sequential(frac: float) -> str:
+    """Light-yellow → dark-blue sequential ramp (heatmaps)."""
+    frac = max(0.0, min(1.0, frac))
+    # interpolate between (1.0, 0.97, 0.75) and (0.10, 0.15, 0.40)
+    r = 1.0 + (0.10 - 1.0) * frac
+    g = 0.97 + (0.15 - 0.97) * frac
+    b = 0.75 + (0.40 - 0.75) * frac
+    return hex_color(r, g, b)
+
+
+def diverging(frac: float) -> str:
+    """Blue → white → red diverging ramp centred at 0.5."""
+    frac = max(0.0, min(1.0, frac))
+    if frac < 0.5:
+        t = frac / 0.5
+        return hex_color(0.2 + 0.8 * t, 0.3 + 0.7 * t, 0.75 + 0.25 * t)
+    t = (frac - 0.5) / 0.5
+    return hex_color(1.0, 1.0 - 0.7 * t, 1.0 - 0.8 * t)

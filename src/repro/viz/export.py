@@ -1,0 +1,126 @@
+"""Data export for the notebook-embedded interactive visualizations.
+
+The paper's §4.3.2 visualizations (tree + table with per-node metric
+charts; paired parallel-coordinates + scatter) are JavaScript widgets
+fed by a JSON payload assembled from the thicket object.  This module
+produces exactly those payloads headlessly, so (a) the data pipeline
+behind the interactive views is exercised end-to-end and (b) a front
+end can be attached without touching the analysis code.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Hashable, Sequence
+
+import numpy as np
+
+__all__ = ["tree_table_payload", "pcp_payload", "export_json"]
+
+
+def _num(v) -> float | None:
+    if v is None:
+        return None
+    f = float(v)
+    return None if np.isnan(f) else f
+
+
+def tree_table_payload(tk, metrics: Sequence[Hashable] | None = None,
+                       group_column: str | None = None) -> dict:
+    """Payload for the tree+table view (Fig. 14's widget).
+
+    Structure::
+
+        {"tree": nested node dicts with ids,
+         "rows": {node_id: [{profile, group, metric values...}]},
+         "metrics": [...], "groups": [...]}
+    """
+    metrics = list(metrics) if metrics is not None else [
+        c for c in tk.performance_cols if not isinstance(c, tuple)
+    ]
+    node_ids = {n: i for i, n in enumerate(tk.graph.node_order())}
+
+    def emit(node) -> dict:
+        return {
+            "id": node_ids[node],
+            "name": node.frame.name,
+            "children": [emit(c) for c in node.children],
+        }
+
+    group_of = {}
+    if group_column is not None:
+        for pid, row in tk.metadata.iterrows():
+            v = row[group_column]
+            group_of[pid] = v.item() if hasattr(v, "item") else v
+
+    rows: dict[int, list[dict]] = {i: [] for i in node_ids.values()}
+    columns = {m: tk.dataframe.column(m) for m in metrics
+               if m in tk.dataframe}
+    for i, t in enumerate(tk.dataframe.index.values):
+        entry: dict = {"profile": str(t[1])}
+        if group_column is not None:
+            entry["group"] = group_of.get(t[1])
+        for m, col in columns.items():
+            entry[str(m)] = _num(col[i])
+        rows[node_ids[t[0]]].append(entry)
+
+    groups = sorted({e.get("group") for lst in rows.values() for e in lst
+                     if e.get("group") is not None},
+                    key=lambda v: (str(type(v)), v))
+    return {
+        "tree": [emit(r) for r in tk.graph.roots],
+        "rows": {str(k): v for k, v in rows.items()},
+        "metrics": [str(m) for m in metrics],
+        "groups": groups,
+        "group_column": group_column,
+    }
+
+
+def pcp_payload(tk, metadata_columns: Sequence[str],
+                metric_columns: Sequence[Hashable] = (),
+                node_name: str | None = None,
+                color_by: str | None = None) -> dict:
+    """Payload for the PCP + scatter view (Fig. 18's widget).
+
+    One record per profile: the requested metadata columns plus,
+    optionally, per-profile values of metrics at one call-tree node.
+    """
+    for c in metadata_columns:
+        if c not in tk.metadata:
+            raise KeyError(f"metadata column {c!r} not found")
+
+    node = tk.get_node(node_name) if node_name else None
+    metric_of: dict[Hashable, dict] = {m: {} for m in metric_columns}
+    if node is not None:
+        for m in metric_columns:
+            col = tk.dataframe.column(m)
+            for i, t in enumerate(tk.dataframe.index.values):
+                if t[0] is node:
+                    metric_of[m][t[1]] = _num(col[i])
+
+    records = []
+    for pid, row in tk.metadata.iterrows():
+        rec: dict = {"profile": str(pid)}
+        for c in metadata_columns:
+            v = row[c]
+            rec[c] = v.item() if hasattr(v, "item") else v
+        for m in metric_columns:
+            rec[str(m)] = metric_of[m].get(pid)
+        records.append(rec)
+
+    axes = list(metadata_columns) + [str(m) for m in metric_columns]
+    return {
+        "axes": axes,
+        "color_by": color_by,
+        "node": node_name,
+        "records": records,
+    }
+
+
+def export_json(payload: dict, path: str | Path) -> Path:
+    """Write a widget payload to disk."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=1))
+    return path

@@ -1,0 +1,124 @@
+"""Heatmap of a statsframe (Fig. 12 top).
+
+Renders node × metric matrices either as ANSI text (quick terminal
+introspection) or as an SVG figure, and exposes the outlier-detection
+helper the case study uses: cells whose value is extreme relative to
+their column.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from ..frame import DataFrame
+from .color import sequential
+from .svg import SVGCanvas
+
+__all__ = ["heatmap_svg", "heatmap_text", "find_outlier_cells"]
+
+
+def _matrix(stats: DataFrame, columns: Sequence[Hashable]
+            ) -> tuple[list[str], np.ndarray]:
+    if "name" in stats:
+        labels = [str(v) for v in stats.column("name")]
+    else:
+        def label_of(t):
+            if hasattr(t, "frame"):
+                return t.frame.name
+            if isinstance(t, tuple) and t and hasattr(t[0], "frame"):
+                return t[0].frame.name
+            return str(t)
+
+        labels = [label_of(t) for t in stats.index.values]
+    mat = np.column_stack([
+        stats.column(c).astype(np.float64) for c in columns
+    ])
+    return labels, mat
+
+
+def _normalize_columns(mat: np.ndarray) -> np.ndarray:
+    out = np.zeros_like(mat)
+    for j in range(mat.shape[1]):
+        col = mat[:, j]
+        finite = col[np.isfinite(col)]
+        lo = finite.min() if len(finite) else 0.0
+        hi = finite.max() if len(finite) else 1.0
+        span = (hi - lo) or 1.0
+        out[:, j] = (col - lo) / span
+    return out
+
+
+def heatmap_text(stats: DataFrame, columns: Sequence[Hashable],
+                 width: int = 10) -> str:
+    """ANSI block-character heatmap (normalized per column)."""
+    labels, mat = _matrix(stats, columns)
+    norm = _normalize_columns(mat)
+    shades = " ░▒▓█"
+    name_w = max((len(x) for x in labels), default=4)
+    widths = [max(width, len(str(c))) for c in columns]
+    header = " " * name_w + "  " + "  ".join(
+        str(c).rjust(w) for c, w in zip(columns, widths)
+    )
+    lines = [header]
+    for i, label in enumerate(labels):
+        cells = []
+        for j, w in enumerate(widths):
+            v = norm[i, j]
+            if not np.isfinite(v):
+                cells.append("-".ljust(w))
+                continue
+            ch = shades[min(int(v * len(shades)), len(shades) - 1)]
+            cells.append((ch * 2 + f" {mat[i, j]:.4g}").ljust(w))
+        lines.append(label.rjust(name_w) + "  " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def heatmap_svg(stats: DataFrame, columns: Sequence[Hashable],
+                cell_w: int = 90, cell_h: int = 24,
+                label_w: int = 220, title: str = "") -> SVGCanvas:
+    """SVG heatmap, one row per node, per-column normalized colour."""
+    labels, mat = _matrix(stats, columns)
+    norm = _normalize_columns(mat)
+    top = 40
+    width = label_w + cell_w * len(columns) + 20
+    height = top + cell_h * len(labels) + 30
+    svg = SVGCanvas(width, height)
+    if title:
+        svg.text(10, 20, title, size=13)
+    for j, c in enumerate(columns):
+        svg.text(label_w + j * cell_w + cell_w / 2, top - 6, str(c),
+                 size=10, anchor="middle")
+    for i, label in enumerate(labels):
+        y = top + i * cell_h
+        svg.text(label_w - 6, y + cell_h * 0.7, label, size=10, anchor="end")
+        for j in range(len(columns)):
+            if not np.isfinite(norm[i, j]):
+                svg.rect(label_w + j * cell_w, y, cell_w - 2, cell_h - 2,
+                         fill="#eeeeee", title=f"{label}: no data")
+                continue
+            svg.rect(label_w + j * cell_w, y, cell_w - 2, cell_h - 2,
+                     fill=sequential(norm[i, j]),
+                     title=f"{label} / {columns[j]}: {mat[i, j]:.6g}")
+            svg.text(label_w + j * cell_w + cell_w / 2, y + cell_h * 0.7,
+                     f"{mat[i, j]:.3g}", size=9, anchor="middle",
+                     fill="#333333" if norm[i, j] < 0.6 else "#ffffff")
+    return svg
+
+
+def find_outlier_cells(stats: DataFrame, columns: Sequence[Hashable],
+                       threshold: float = 0.8) -> list[tuple[str, Hashable, float]]:
+    """Cells whose column-normalized value exceeds *threshold*.
+
+    This is the programmatic version of "the heatmap identifies two
+    nodes as outliers" in Fig. 12: dark cells = candidate outliers.
+    """
+    labels, mat = _matrix(stats, columns)
+    norm = _normalize_columns(mat)
+    out = []
+    for i, label in enumerate(labels):
+        for j, col in enumerate(columns):
+            if np.isfinite(norm[i, j]) and norm[i, j] >= threshold:
+                out.append((label, col, float(mat[i, j])))
+    return out

@@ -1,0 +1,99 @@
+"""Line plots, including the log-log strong-scaling chart (Fig. 17)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .color import CATEGORICAL
+from .scatter import axis_ticks
+from .svg import SVGCanvas
+
+__all__ = ["line_plot_svg", "scaling_plot_svg"]
+
+
+def line_plot_svg(series: dict[str, tuple[Sequence[float], Sequence[float]]],
+                  xlabel: str = "x", ylabel: str = "y", title: str = "",
+                  width: int = 480, height: int = 340,
+                  logx: bool = False, logy: bool = False,
+                  dashed: Sequence[str] = ()) -> SVGCanvas:
+    """Multi-series line plot; series in *dashed* render with dashes."""
+    svg = SVGCanvas(width, height)
+    left, right, top, bottom = 64, 16, 36, height - 46
+    if title:
+        svg.text(width / 2, 18, title, size=12, anchor="middle")
+
+    def tx(v: np.ndarray) -> np.ndarray:
+        return np.log2(v) if logx else v
+
+    def ty(v: np.ndarray) -> np.ndarray:
+        return np.log2(v) if logy else v
+
+    all_x = np.concatenate([tx(np.asarray(xs, dtype=float))
+                            for xs, _ in series.values()])
+    all_y = np.concatenate([ty(np.asarray(ys, dtype=float))
+                            for _, ys in series.values()])
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    x_pad = (x_hi - x_lo) * 0.05 or 1.0
+    y_pad = (y_hi - y_lo) * 0.08 or 1.0
+    x_lo, x_hi = x_lo - x_pad, x_hi + x_pad
+    y_lo, y_hi = y_lo - y_pad, y_hi + y_pad
+
+    def sx(v: float) -> float:
+        return left + (v - x_lo) / (x_hi - x_lo) * (width - left - right)
+
+    def sy(v: float) -> float:
+        return bottom - (v - y_lo) / (y_hi - y_lo) * (bottom - top)
+
+    svg.line(left, bottom, width - right, bottom, stroke="#444444")
+    svg.line(left, bottom, left, top, stroke="#444444")
+    for t in axis_ticks(x_lo, x_hi, 6):
+        svg.line(sx(t), bottom, sx(t), bottom + 4, stroke="#444444")
+        lbl = f"2^{t:g}" if logx else f"{t:g}"
+        svg.text(sx(t), bottom + 16, lbl, size=9, anchor="middle")
+    for t in axis_ticks(y_lo, y_hi, 6):
+        svg.line(left - 4, sy(t), left, sy(t), stroke="#444444")
+        lbl = f"2^{t:g}" if logy else f"{t:g}"
+        svg.text(left - 6, sy(t) + 3, lbl, size=9, anchor="end")
+    suffix = " [log2]" if logx else ""
+    svg.text((left + width - right) / 2, height - 8, xlabel + suffix,
+             size=11, anchor="middle")
+    svg.text(14, (top + bottom) / 2, ylabel + (" [log2]" if logy else ""),
+             size=11, anchor="middle", rotate=-90)
+
+    ly = top + 4
+    for i, (name, (xs, ys)) in enumerate(series.items()):
+        color = CATEGORICAL[i % len(CATEGORICAL)]
+        pts = [(sx(float(a)), sy(float(b)))
+               for a, b in zip(tx(np.asarray(xs, float)),
+                               ty(np.asarray(ys, float)))]
+        dash = "5,4" if name in dashed else None
+        svg.polyline(pts, stroke=color, width=1.8, dash=dash)
+        for px, py in pts:
+            svg.circle(px, py, 2.5, fill=color)
+        svg.line(width - right - 150, ly, width - right - 130, ly,
+                 stroke=color, width=3, dash=dash)
+        svg.text(width - right - 126, ly + 3, name, size=9)
+        ly += 13
+    return svg
+
+
+def scaling_plot_svg(series: dict[str, tuple[Sequence[float], Sequence[float]]],
+                     title: str = "Strong scaling",
+                     xlabel: str = "compute nodes",
+                     ylabel: str = "time per cycle (s)",
+                     with_ideal: bool = True) -> SVGCanvas:
+    """Log-log strong-scaling plot with per-series ideal (-1 slope) lines."""
+    full = dict(series)
+    dashed = []
+    if with_ideal:
+        for name, (xs, ys) in series.items():
+            xs = np.asarray(xs, dtype=float)
+            ys = np.asarray(ys, dtype=float)
+            ideal_name = f"{name}-ideal"
+            full[ideal_name] = (xs, ys[0] * xs[0] / xs)
+            dashed.append(ideal_name)
+    return line_plot_svg(full, xlabel=xlabel, ylabel=ylabel, title=title,
+                         logx=True, logy=True, dashed=dashed)

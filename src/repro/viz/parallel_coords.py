@@ -1,0 +1,112 @@
+"""Parallel-coordinate plot of the metadata table (Fig. 18).
+
+One vertical axis per metadata/metric variable; each profile traces a
+polyline across them, coloured by a categorical variable (architecture
+in the paper).  Also provides the inverse-correlation detector the case
+study reads off the plot: heavy line criss-crossing between adjacent
+axes indicates negative correlation (more MPI ranks ↔ lower walltime).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Sequence
+
+import numpy as np
+
+from ..frame import DataFrame
+from .color import CATEGORICAL
+from .svg import SVGCanvas
+
+__all__ = ["parallel_coordinates_svg", "crossing_fraction", "axis_values"]
+
+
+def axis_values(df: DataFrame, column: Hashable) -> np.ndarray:
+    """Numeric positions for a column; categoricals get rank positions."""
+    col = df.column(column)
+    if col.dtype.kind in "if":
+        return col.astype(np.float64)
+    uniq = sorted({str(v) for v in col})
+    rank = {v: i for i, v in enumerate(uniq)}
+    return np.asarray([rank[str(v)] for v in col], dtype=np.float64)
+
+
+def crossing_fraction(df: DataFrame, col_a: Hashable, col_b: Hashable) -> float:
+    """Fraction of profile pairs whose lines cross between two axes.
+
+    0 = perfectly parallel (positive correlation), 1 = all pairs cross
+    (perfect inverse correlation) — the PCP "criss-crossing" signal.
+    """
+    a = axis_values(df, col_a)
+    b = axis_values(df, col_b)
+    n = len(a)
+    if n < 2:
+        return 0.0
+    crossings = 0
+    pairs = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            da, db = a[i] - a[j], b[i] - b[j]
+            if da == 0 or db == 0:
+                continue
+            pairs += 1
+            if (da > 0) != (db > 0):
+                crossings += 1
+    return crossings / pairs if pairs else 0.0
+
+
+def parallel_coordinates_svg(df: DataFrame, columns: Sequence[Hashable],
+                             color_by: Hashable | None = None,
+                             width: int = 720, height: int = 360,
+                             title: str = "") -> SVGCanvas:
+    """Render the PCP; ``color_by`` picks the categorical colouring axis."""
+    svg = SVGCanvas(width, height)
+    if not columns or len(df) == 0:
+        return svg
+    left, right, top, bottom = 60, 40, 50, height - 40
+    if title:
+        svg.text(width / 2, 20, title, size=13, anchor="middle")
+
+    n_axes = len(columns)
+    gap = (width - left - right) / max(n_axes - 1, 1)
+    axis_x = [left + i * gap for i in range(n_axes)]
+
+    # normalized vertical positions per axis
+    positions = []
+    for c in columns:
+        vals = axis_values(df, c)
+        lo, hi = float(np.nanmin(vals)), float(np.nanmax(vals))
+        span = (hi - lo) or 1.0
+        positions.append((vals - lo) / span)
+        # axis range labels
+        raw = df.column(c)
+        lo_lbl = f"{lo:g}" if raw.dtype.kind in "if" else ""
+        hi_lbl = f"{hi:g}" if raw.dtype.kind in "if" else ""
+        i = columns.index(c)
+        svg.text(axis_x[i], bottom + 14, lo_lbl, size=8, anchor="middle")
+        svg.text(axis_x[i], top - 18, hi_lbl, size=8, anchor="middle")
+
+    for i, c in enumerate(columns):
+        svg.line(axis_x[i], top, axis_x[i], bottom, stroke="#888888")
+        svg.text(axis_x[i], top - 30, str(c), size=10, anchor="middle")
+
+    palette: dict[Any, str] = {}
+    color_vals = df.column(color_by) if color_by is not None else None
+    for r in range(len(df)):
+        pts = []
+        for i in range(n_axes):
+            y = bottom - positions[i][r] * (bottom - top)
+            pts.append((axis_x[i], y))
+        color = CATEGORICAL[0]
+        if color_vals is not None:
+            key = str(color_vals[r])
+            if key not in palette:
+                palette[key] = CATEGORICAL[len(palette) % len(CATEGORICAL)]
+            color = palette[key]
+        svg.polyline(pts, stroke=color, width=1.2)
+
+    ly = top
+    for key, color in palette.items():
+        svg.line(10, ly, 30, ly, stroke=color, width=3)
+        svg.text(34, ly + 3, key, size=9)
+        ly += 14
+    return svg

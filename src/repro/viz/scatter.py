@@ -1,0 +1,101 @@
+"""Scatter plots (Fig. 10 cluster plots, Fig. 18 metadata scatters)."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from .color import CATEGORICAL
+from .svg import SVGCanvas
+
+__all__ = ["scatter_svg", "axis_ticks"]
+
+
+def axis_ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / max(n - 1, 1)
+    mag = 10 ** np.floor(np.log10(raw))
+    step = float(min(
+        (m * mag for m in (1, 2, 2.5, 5, 10) if m * mag >= raw),
+        default=raw,
+    ))
+    start = np.floor(lo / step) * step
+    ticks = []
+    t = start
+    while t <= hi + step * 0.5:
+        if t >= lo - step * 0.5:
+            ticks.append(round(t, 10))
+        t += step
+    return ticks
+
+
+def scatter_svg(x: Sequence[float], y: Sequence[float],
+                labels: Sequence[Any] | None = None,
+                colors_by: Sequence[Any] | None = None,
+                xlabel: str = "x", ylabel: str = "y", title: str = "",
+                width: int = 420, height: int = 320,
+                point_r: float = 4.0) -> SVGCanvas:
+    """Scatter with optional categorical colouring and per-point tooltips."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if len(x) != len(y):
+        raise ValueError("x and y must have equal length")
+    svg = SVGCanvas(width, height)
+    left, right, top, bottom = 56, 16, 34, height - 44
+    if title:
+        svg.text(width / 2, 18, title, size=12, anchor="middle")
+
+    finite = np.isfinite(x) & np.isfinite(y)
+    xs, ys = x[finite], y[finite]
+    if len(xs) == 0:
+        return svg
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    x_pad = (x_hi - x_lo) * 0.05 or 1.0
+    y_pad = (y_hi - y_lo) * 0.05 or 1.0
+    x_lo, x_hi = x_lo - x_pad, x_hi + x_pad
+    y_lo, y_hi = y_lo - y_pad, y_hi + y_pad
+
+    def sx(v: float) -> float:
+        return left + (v - x_lo) / (x_hi - x_lo) * (width - left - right)
+
+    def sy(v: float) -> float:
+        return bottom - (v - y_lo) / (y_hi - y_lo) * (bottom - top)
+
+    svg.line(left, bottom, width - right, bottom, stroke="#444444")
+    svg.line(left, bottom, left, top, stroke="#444444")
+    for t in axis_ticks(x_lo, x_hi):
+        svg.line(sx(t), bottom, sx(t), bottom + 4, stroke="#444444")
+        svg.text(sx(t), bottom + 16, f"{t:g}", size=9, anchor="middle")
+    for t in axis_ticks(y_lo, y_hi):
+        svg.line(left - 4, sy(t), left, sy(t), stroke="#444444")
+        svg.text(left - 6, sy(t) + 3, f"{t:g}", size=9, anchor="end")
+    svg.text((left + width - right) / 2, height - 8, xlabel, size=11,
+             anchor="middle")
+    svg.text(14, (top + bottom) / 2, ylabel, size=11, anchor="middle",
+             rotate=-90)
+
+    palette: dict[Any, str] = {}
+    for i in range(len(x)):
+        if not finite[i]:
+            continue
+        color = CATEGORICAL[0]
+        if colors_by is not None:
+            key = colors_by[i]
+            if key not in palette:
+                palette[key] = CATEGORICAL[len(palette) % len(CATEGORICAL)]
+            color = palette[key]
+        tooltip = str(labels[i]) if labels is not None else None
+        svg.circle(sx(x[i]), sy(y[i]), point_r, fill=color, opacity=0.85,
+                   title=tooltip)
+
+    # categorical legend
+    ly = top
+    for key, color in palette.items():
+        svg.circle(width - right - 90, ly, 4, fill=color)
+        svg.text(width - right - 82, ly + 3, str(key), size=9)
+        ly += 14
+    return svg

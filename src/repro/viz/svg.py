@@ -1,0 +1,106 @@
+"""A minimal SVG document builder (matplotlib substitute backend).
+
+All figure-producing visualizations in :mod:`repro.viz` render to SVG
+through this writer so figures can be regenerated headlessly and
+checked into experiment output directories.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+__all__ = ["SVGCanvas"]
+
+
+def _fmt(v: float) -> str:
+    return f"{v:.2f}".rstrip("0").rstrip(".")
+
+
+def _escape(text: str) -> str:
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+class SVGCanvas:
+    """Accumulates SVG elements; ``to_string()``/``save()`` emit the file."""
+
+    def __init__(self, width: int = 640, height: int = 480,
+                 background: str = "#ffffff"):
+        self.width = width
+        self.height = height
+        self._elements: list[str] = []
+        if background:
+            self.rect(0, 0, width, height, fill=background, stroke="none")
+
+    # ------------------------------------------------------------------
+    def _attrs(self, **kwargs: Any) -> str:
+        parts = []
+        for key, value in kwargs.items():
+            if value is None:
+                continue
+            parts.append(f'{key.replace("_", "-")}="{value}"')
+        return " ".join(parts)
+
+    def rect(self, x: float, y: float, w: float, h: float, *,
+             fill: str = "#4477aa", stroke: str = "none",
+             opacity: float | None = None, title: str | None = None) -> None:
+        body = f"<title>{_escape(title)}</title>" if title else ""
+        tag = (f'<rect x="{_fmt(x)}" y="{_fmt(y)}" width="{_fmt(w)}" '
+               f'height="{_fmt(h)}" '
+               + self._attrs(fill=fill, stroke=stroke, opacity=opacity))
+        self._elements.append(f"{tag}>{body}</rect>" if body else f"{tag}/>")
+
+    def circle(self, cx: float, cy: float, r: float, *,
+               fill: str = "#4477aa", stroke: str = "none",
+               opacity: float | None = None, title: str | None = None) -> None:
+        body = f"<title>{_escape(title)}</title>" if title else ""
+        tag = (f'<circle cx="{_fmt(cx)}" cy="{_fmt(cy)}" r="{_fmt(r)}" '
+               + self._attrs(fill=fill, stroke=stroke, opacity=opacity))
+        self._elements.append(f"{tag}>{body}</circle>" if body else f"{tag}/>")
+
+    def line(self, x1: float, y1: float, x2: float, y2: float, *,
+             stroke: str = "#222222", width: float = 1.0,
+             dash: str | None = None) -> None:
+        self._elements.append(
+            f'<line x1="{_fmt(x1)}" y1="{_fmt(y1)}" x2="{_fmt(x2)}" '
+            f'y2="{_fmt(y2)}" '
+            + self._attrs(stroke=stroke, stroke_width=width,
+                          stroke_dasharray=dash)
+            + "/>"
+        )
+
+    def polyline(self, points: list[tuple[float, float]], *,
+                 stroke: str = "#4477aa", width: float = 1.5,
+                 dash: str | None = None) -> None:
+        pts = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points)
+        self._elements.append(
+            f'<polyline points="{pts}" fill="none" '
+            + self._attrs(stroke=stroke, stroke_width=width,
+                          stroke_dasharray=dash)
+            + "/>"
+        )
+
+    def text(self, x: float, y: float, content: str, *,
+             size: int = 11, anchor: str = "start", fill: str = "#111111",
+             rotate: float | None = None, family: str = "sans-serif") -> None:
+        transform = (f' transform="rotate({_fmt(rotate)} {_fmt(x)} {_fmt(y)})"'
+                     if rotate else "")
+        self._elements.append(
+            f'<text x="{_fmt(x)}" y="{_fmt(y)}" font-size="{size}" '
+            f'font-family="{family}" text-anchor="{anchor}" '
+            f'fill="{fill}"{transform}>{_escape(content)}</text>'
+        )
+
+    # ------------------------------------------------------------------
+    def to_string(self) -> str:
+        header = (f'<svg xmlns="http://www.w3.org/2000/svg" '
+                  f'width="{self.width}" height="{self.height}" '
+                  f'viewBox="0 0 {self.width} {self.height}">')
+        return header + "".join(self._elements) + "</svg>"
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_string())
+        return path

@@ -1,0 +1,58 @@
+"""``repro.workloads`` — synthetic case-study workloads (§5 substitutes)."""
+
+from .campaign import (
+    MARBL_CAMPAIGN,
+    RAJA_CAMPAIGN,
+    MarblConfig,
+    RajaConfig,
+    iter_marbl_profiles,
+    iter_raja_profiles,
+    marbl_campaign_table,
+    raja_campaign_table,
+    write_marbl_campaign,
+    write_raja_campaign,
+)
+from .machines import (
+    AWS_PARALLELCLUSTER,
+    LASSEN_CPU,
+    LASSEN_GPU,
+    MACHINES,
+    QUARTZ,
+    RZTOPAZ,
+    Machine,
+)
+from .marbl import (
+    MARBL_REGIONS,
+    TRIPLE_POINT_ELEMENTS,
+    generate_marbl_profile,
+    marbl_times,
+)
+from .ncu import (
+    NCU_METRICS,
+    generate_ncu_report,
+    ncu_metrics_for_kernel,
+    write_ncu_csv,
+)
+from .rajaperf import (
+    KERNEL_GROUPS,
+    KERNELS,
+    Kernel,
+    generate_rajaperf_profile,
+    kernel_time,
+    optimization_factor,
+)
+
+__all__ = [
+    "Machine", "MACHINES", "QUARTZ", "LASSEN_CPU", "LASSEN_GPU", "RZTOPAZ",
+    "AWS_PARALLELCLUSTER",
+    "Kernel", "KERNELS", "KERNEL_GROUPS", "kernel_time",
+    "optimization_factor", "generate_rajaperf_profile",
+    "NCU_METRICS", "ncu_metrics_for_kernel", "generate_ncu_report",
+    "write_ncu_csv",
+    "MARBL_REGIONS", "TRIPLE_POINT_ELEMENTS", "marbl_times",
+    "generate_marbl_profile",
+    "RajaConfig", "RAJA_CAMPAIGN", "raja_campaign_table",
+    "iter_raja_profiles", "write_raja_campaign",
+    "MarblConfig", "MARBL_CAMPAIGN", "marbl_campaign_table",
+    "iter_marbl_profiles", "write_marbl_campaign",
+]

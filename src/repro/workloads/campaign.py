@@ -1,0 +1,200 @@
+"""Experiment campaigns: the paper's Fig. 13 and Fig. 16 configurations.
+
+A campaign definition enumerates profile configurations; running it
+writes cali-JSON files to disk (or yields profile dicts), giving the
+benchmarks and examples the same "directory full of profiles" starting
+point the paper's users have.  ``scale`` shrinks the repetition counts
+so unit tests stay fast while benchmarks can run the full 560-profile
+RAJA campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from ..caliper.writer import write_cali_json
+from .machines import (
+    AWS_PARALLELCLUSTER,
+    LASSEN_GPU,
+    QUARTZ,
+    RZTOPAZ,
+    Machine,
+)
+from .marbl import generate_marbl_profile
+from .rajaperf import generate_rajaperf_profile
+
+__all__ = [
+    "RajaConfig",
+    "RAJA_CAMPAIGN",
+    "raja_campaign_table",
+    "iter_raja_profiles",
+    "write_raja_campaign",
+    "MarblConfig",
+    "MARBL_CAMPAIGN",
+    "marbl_campaign_table",
+    "iter_marbl_profiles",
+    "write_marbl_campaign",
+]
+
+_DEFAULT_SIZES = (1048576, 2097152, 4194304, 8388608)
+
+
+@dataclass(frozen=True)
+class RajaConfig:
+    """One row of the paper's Fig. 13 experiment table."""
+
+    cluster: Machine
+    problem_sizes: tuple[int, ...]
+    compiler: str
+    opt_levels: tuple[int, ...]
+    threads: int
+    variant: str
+    block_sizes: tuple[int, ...] = ()
+    reps: int = 10           # profiles per (size, opt level) cell
+    topdown: bool = True
+
+    @property
+    def n_profiles(self) -> int:
+        per_cell = self.reps * max(len(self.block_sizes), 1)
+        return len(self.problem_sizes) * len(self.opt_levels) * per_cell
+
+
+# Fig. 13, rows 0-4 (reps=10 reproduces the 160/160/40/40/160 counts).
+RAJA_CAMPAIGN: tuple[RajaConfig, ...] = (
+    RajaConfig(QUARTZ, _DEFAULT_SIZES, "clang++-9.0.0", (0, 1, 2, 3), 1,
+               "Sequential"),
+    RajaConfig(QUARTZ, _DEFAULT_SIZES, "g++-8.3.1", (0, 1, 2, 3), 1,
+               "Sequential"),
+    RajaConfig(QUARTZ, _DEFAULT_SIZES, "clang++-9.0.0", (0,), 72, "OpenMP"),
+    RajaConfig(QUARTZ, _DEFAULT_SIZES, "g++-8.3.1", (0,), 72, "OpenMP"),
+    RajaConfig(LASSEN_GPU, _DEFAULT_SIZES, "nvcc-11.2.152", (0,), 1, "CUDA",
+               block_sizes=(128, 256, 512, 1024)),
+)
+
+
+def raja_campaign_table(campaign: Sequence[RajaConfig] = RAJA_CAMPAIGN) -> list[dict]:
+    """The Fig. 13 summary rows (one dict per configuration)."""
+    rows = []
+    for cfg in campaign:
+        rows.append({
+            "cluster": cfg.cluster.name,
+            "systype": cfg.cluster.systype,
+            "build problem size": list(cfg.problem_sizes),
+            "compiler": cfg.compiler,
+            "compiler optimizations": [f"-O{o}" for o in cfg.opt_levels],
+            "omp num threads": cfg.threads,
+            "cuda compiler": cfg.compiler if cfg.variant == "CUDA" else "N/A",
+            "block sizes": list(cfg.block_sizes) or "N/A",
+            "RAJA variant": cfg.variant,
+            "#profiles": cfg.n_profiles,
+        })
+    return rows
+
+
+def iter_raja_profiles(campaign: Sequence[RajaConfig] = RAJA_CAMPAIGN,
+                       scale: float = 1.0,
+                       kernels: Sequence[str] | None = None,
+                       base_seed: int = 0) -> Iterator[dict]:
+    """Yield profile dicts for a campaign; ``scale`` shrinks rep counts."""
+    seed = base_seed
+    for cfg in campaign:
+        reps = max(1, int(round(cfg.reps * scale)))
+        block_sizes: tuple = cfg.block_sizes or (None,)
+        for size in cfg.problem_sizes:
+            for opt in cfg.opt_levels:
+                for block_size in block_sizes:
+                    for rep in range(reps):
+                        seed += 1
+                        yield generate_rajaperf_profile(
+                            cfg.cluster, size, variant=cfg.variant,
+                            compiler=cfg.compiler, opt_level=opt,
+                            threads=cfg.threads, block_size=block_size,
+                            kernels=kernels, topdown=cfg.topdown,
+                            seed=seed, metadata={"rep": rep},
+                        )
+
+
+def write_raja_campaign(out_dir: str | Path,
+                        campaign: Sequence[RajaConfig] = RAJA_CAMPAIGN,
+                        scale: float = 1.0,
+                        kernels: Sequence[str] | None = None) -> list[Path]:
+    """Write the campaign's profiles to *out_dir*; returns the file paths."""
+    out_dir = Path(out_dir)
+    paths = []
+    for i, profile in enumerate(iter_raja_profiles(campaign, scale, kernels)):
+        g = profile["globals"]
+        name = (f"rajaperf_{g['cluster']}_{g['variant']}_{g['problem_size']}"
+                f"_{g['compiler'].replace('+', 'p')}"
+                f"_{g['compiler optimizations']}_{i:04d}.json")
+        paths.append(write_cali_json(profile, out_dir / name))
+    return paths
+
+
+@dataclass(frozen=True)
+class MarblConfig:
+    """One row of the paper's Fig. 16 experiment table."""
+
+    cluster: Machine
+    mpi: str
+    node_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+    ranks_per_node: int = 36
+    reps: int = 5
+
+    @property
+    def n_profiles(self) -> int:
+        return len(self.node_counts) * self.reps
+
+
+# Fig. 16: AWS ParallelCluster with Intel MPI, RZTopaz with OpenMPI.
+MARBL_CAMPAIGN: tuple[MarblConfig, ...] = (
+    MarblConfig(AWS_PARALLELCLUSTER, "impi"),
+    MarblConfig(RZTOPAZ, "openmpi"),
+)
+
+
+def marbl_campaign_table(campaign: Sequence[MarblConfig] = MARBL_CAMPAIGN
+                         ) -> list[dict]:
+    """The Fig. 16 summary rows."""
+    rows = []
+    for cfg in campaign:
+        rows.append({
+            "cluster": cfg.cluster.name,
+            "ccompiler": "/usr/tce/packages/clang/clang-9.0.0",
+            "mpi": cfg.mpi,
+            "version": "v1.1.0-203-gcb0efb3",
+            "numhosts": list(cfg.node_counts),
+            "mpi.world.size": [n * cfg.ranks_per_node
+                               for n in cfg.node_counts],
+            "#profiles": cfg.n_profiles,
+        })
+    return rows
+
+
+def iter_marbl_profiles(campaign: Sequence[MarblConfig] = MARBL_CAMPAIGN,
+                        scale: float = 1.0, base_seed: int = 0
+                        ) -> Iterator[dict]:
+    seed = base_seed
+    for cfg in campaign:
+        reps = max(1, int(round(cfg.reps * scale)))
+        for nodes in cfg.node_counts:
+            for rep in range(reps):
+                seed += 1
+                yield generate_marbl_profile(
+                    cfg.cluster, nodes, ranks_per_node=cfg.ranks_per_node,
+                    rep=rep, mpi=cfg.mpi, seed=seed,
+                )
+
+
+def write_marbl_campaign(out_dir: str | Path,
+                         campaign: Sequence[MarblConfig] = MARBL_CAMPAIGN,
+                         scale: float = 1.0) -> list[Path]:
+    out_dir = Path(out_dir)
+    paths = []
+    for i, profile in enumerate(iter_marbl_profiles(campaign, scale)):
+        g = profile["globals"]
+        name = (f"marbl_{g['cluster']}_{g['mpi']}_n{g['numhosts']:03d}"
+                f"_r{g['rep']}_{i:04d}.json")
+        paths.append(write_cali_json(profile, out_dir / name))
+    return paths

@@ -1,0 +1,107 @@
+"""Machine models for the clusters in the paper's case studies (§5).
+
+Each :class:`Machine` captures the sustained rates that drive the
+analytic kernel/application time models: memory bandwidth, peak flops,
+last-level-cache size, and interconnect character.  Values are
+order-of-magnitude-faithful to the published hardware:
+
+* **Quartz** — LLNL CTS-1, 2×18-core Intel Xeon E5-2695 v4, 128 GB;
+* **Lassen** — IBM Power9 + NVIDIA V100 (we model one GPU);
+* **RZTopaz** — same Xeon node as Quartz with Omni-Path;
+* **AWS ParallelCluster** — C5n.18xlarge (Xeon Platinum 8124M, EFA),
+  slightly higher clock and memory bandwidth than the CTS node, which
+  is what makes MARBL "consistently lower" on AWS in Figs. 11/17/18.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Machine", "QUARTZ", "LASSEN_CPU", "LASSEN_GPU", "RZTOPAZ",
+           "AWS_PARALLELCLUSTER", "MACHINES"]
+
+
+@dataclass(frozen=True)
+class Machine:
+    """Sustained-rate model of one compute resource."""
+
+    name: str
+    systype: str
+    kind: str                      # "cpu" or "gpu"
+    cores: int
+    mem_bw_gbs: float              # sustained memory bandwidth, GB/s
+    gflops: float                  # sustained double-precision GF/s
+    cache_bytes: float             # last-level cache (or L2 on GPU)
+    ram_gb: int
+    interconnect: str = "none"
+    net_latency_us: float = 1.5    # per-message latency
+    net_bw_gbs: float = 12.0       # per-node network bandwidth
+    compilers: tuple[str, ...] = field(default=())
+
+    def effective_mem_bw(self, threads: int = 1) -> float:
+        """Sustained bandwidth for a run with *threads* OpenMP threads.
+
+        ``mem_bw_gbs`` is calibrated to the *sequential benchmark
+        variant* (a single process streaming through a saturated memory
+        subsystem); extra threads recover the remaining headroom but
+        saturate quickly, as STREAM does on real Xeons.
+        """
+        if self.kind == "gpu" or threads <= 1:
+            return self.mem_bw_gbs
+        return self.mem_bw_gbs * min(1.0 + 0.4 * (1.0 - 1.0 / threads), 1.4)
+
+    def effective_gflops(self, threads: int = 1) -> float:
+        """Sustained flop rate; compute scales better with threads."""
+        if self.kind == "gpu" or threads <= 1:
+            return self.gflops
+        return self.gflops * min(1.0 + 0.25 * (threads - 1), 6.0)
+
+
+# CPU rates below are *sustained sequential-variant* rates calibrated so
+# the Fig. 15 CPU times and CPU→GPU speedups land near the published
+# values (94 GB/s, 145 GF/s reproduce time(exc)=0.43/2.14 s and
+# speedups ~12/~8 for VOL3D/HYDRO_1D at problem size 8388608).
+QUARTZ = Machine(
+    name="quartz", systype="toss_3_x86_64_ib", kind="cpu",
+    cores=36, mem_bw_gbs=94.0, gflops=145.0, cache_bytes=45e6,
+    ram_gb=128, interconnect="omnipath",
+    compilers=("clang++-9.0.0", "g++-8.3.1"),
+)
+
+LASSEN_CPU = Machine(
+    name="lassen", systype="blueos_3_ppc64le_ib_p9", kind="cpu",
+    cores=44, mem_bw_gbs=110.0, gflops=130.0, cache_bytes=80e6,
+    ram_gb=256, interconnect="infiniband",
+    compilers=("xlc++-16.1.1.12",),
+)
+
+LASSEN_GPU = Machine(
+    name="lassen", systype="blueos_3_ppc64le_ib_p9", kind="gpu",
+    cores=80, mem_bw_gbs=800.0, gflops=7000.0, cache_bytes=6e6,
+    ram_gb=16, interconnect="nvlink2",
+    compilers=("nvcc-11.2.152",),
+)
+
+RZTOPAZ = Machine(
+    name="rztopaz", systype="toss_3_x86_64_ib", kind="cpu",
+    cores=36, mem_bw_gbs=94.0, gflops=145.0, cache_bytes=45e6,
+    ram_gb=128, interconnect="omnipath",
+    net_latency_us=1.3, net_bw_gbs=12.5,
+    compilers=("clang-9.0.0",),
+)
+
+AWS_PARALLELCLUSTER = Machine(
+    name="ip-10-0-0-1", systype="aws_c5n18xlarge", kind="cpu",
+    cores=36, mem_bw_gbs=105.0, gflops=175.0, cache_bytes=35e6,
+    ram_gb=192, interconnect="efa",
+    net_latency_us=8.0, net_bw_gbs=12.5,
+    compilers=("clang-9.0.0",),
+)
+
+MACHINES = {
+    "quartz": QUARTZ,
+    "lassen-cpu": LASSEN_CPU,
+    "lassen-gpu": LASSEN_GPU,
+    "rztopaz": RZTOPAZ,
+    "aws": AWS_PARALLELCLUSTER,
+}

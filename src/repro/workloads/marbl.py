@@ -1,0 +1,202 @@
+"""Synthetic MARBL multi-physics proxy (§5.2).
+
+MARBL is an ALE multi-physics code; the paper runs a 3D triple-point
+shock benchmark on RZTopaz (CTS-1) and AWS ParallelCluster, 36 ranks
+per node, 1–64 nodes, five repetitions per configuration.
+
+The time model encodes the behaviours the figures rely on:
+
+* **Fig. 11** — the dominant solver region's average time/rank follows
+  ``a - b·p^(1/3)`` over the measured rank range (surface-to-volume
+  scaling of the implicit solve), with cluster-specific ``a, b`` and
+  AWS strictly faster;
+* **Fig. 17** — ``timeStepLoop`` strong-scales nearly ideally to ~16
+  nodes, after which latency-dominated MPI collectives bend the curve
+  away from the −1 slope — more on AWS (EFA's higher latency) than on
+  Omni-Path, yet AWS stays faster in absolute terms;
+* **Fig. 18** — walltime is inversely correlated with
+  ``mpi.world.size``, and max elements/rank shrinks with rank count.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+import numpy as np
+
+from .machines import Machine
+
+__all__ = ["MARBL_REGIONS", "marbl_times", "generate_marbl_profile",
+           "TRIPLE_POINT_ELEMENTS"]
+
+# total elements of the modestly-sized 3D triple-point mesh
+TRIPLE_POINT_ELEMENTS = 12_582_912
+
+# region → share of per-cycle work attributed to it (sums < 1; the
+# remainder is timeStepLoop bookkeeping)
+MARBL_REGIONS = {
+    "hydro": 0.34,
+    "ale_remap": 0.22,
+    "M_solver->Mult": 0.30,
+    "mpi_comm": 0.0,          # filled from the comm model, not the share
+}
+
+# per-cluster solver model constants (average time/rank over a full run,
+# matching the shape of the paper's Fig. 11 Extra-P models)
+# chosen to stay positive across the benchmarked 36-2304 rank range
+_SOLVER_MODEL = {
+    "rztopaz": (200.0, 14.0),
+    "ip-10-0-0-1": (155.0, 10.8),
+}
+
+
+def _serial_cycle_time(machine: Machine) -> float:
+    """Per-cycle time of the whole problem on one rank (seconds).
+
+    High-order FEM with an implicit solve costs ~0.2 Mflop per element
+    per cycle; one rank sustains roughly ``gflops / cores`` (MARBL is
+    compute-dominated, unlike the streaming suite kernels).
+    """
+    work_flops = TRIPLE_POINT_ELEMENTS * 2.0e5
+    per_rank_rate = machine.gflops * 1e9 / machine.cores
+    return work_flops / per_rank_rate
+
+
+def _comm_time(machine: Machine, nodes: int, ranks: int) -> float:
+    """Per-cycle MPI cost: latency-bound collectives + halo exchange.
+
+    The implicit solver issues ~800 allreduce-class collectives per
+    cycle (CG iterations x dot products); each is a log2(p) latency
+    chain.  Halo exchange moves the per-rank surface (ranks^(-2/3)).
+    """
+    if nodes <= 1:
+        return 0.0
+    collectives = 800.0 * machine.net_latency_us * 1e-6 * math.log2(ranks)
+    halo_bytes = 8.0 * 400.0 * (TRIPLE_POINT_ELEMENTS / ranks) ** (2.0 / 3.0)
+    halo = halo_bytes / (machine.net_bw_gbs * 1e9) * 6.0
+    return collectives + halo
+
+
+def marbl_times(machine: Machine, nodes: int, ranks_per_node: int = 36,
+                cycles: int = 100) -> dict[str, dict[str, float]]:
+    """Per-region times (seconds) for one run, two metrics per region.
+
+    * ``"time per cycle"`` — exclusive compute/comm time of the region
+      per simulation cycle (Fig. 17's metric; ``timeStepLoop`` carries
+      the *inclusive* whole-cycle value under ``"time per cycle (inc)"``);
+    * ``"Avg time/rank"`` — per-rank average over the full run (Fig. 11's
+      metric; the implicit solver follows the published ``a − b·p^(1/3)``
+      shape, the remaining regions scale with the compute share).
+    """
+    ranks = nodes * ranks_per_node
+    compute_cycle = _serial_cycle_time(machine) / ranks
+    comm_cycle = _comm_time(machine, nodes, ranks)
+
+    per_cycle: dict[str, float] = {}
+    accounted = 0.0
+    for region, share in MARBL_REGIONS.items():
+        if region == "mpi_comm":
+            continue
+        per_cycle[region] = compute_cycle * share
+        accounted += share
+    per_cycle["mpi_comm"] = comm_cycle
+    # Amdahl tail: mesh management and I/O bookkeeping that does not
+    # strong-scale (this is what bends Fig. 17 away from the -1 slope)
+    serial_overhead = 2.0e-4 * _serial_cycle_time(machine)
+    per_cycle["timeStepLoop"] = (compute_cycle * (1.0 - accounted)
+                                 + serial_overhead)
+    per_cycle["main"] = 0.02 * compute_cycle
+    cycle_total = sum(per_cycle.values())
+
+    # solver average time/rank follows the published a - b*p^(1/3) shape
+    a, b = _SOLVER_MODEL.get(machine.name, (180.0, 16.0))
+    solver_per_rank = max(a - b * ranks ** (1.0 / 3.0), 2.0)
+
+    avg_rank: dict[str, float] = {
+        region: t * cycles for region, t in per_cycle.items()
+    }
+    avg_rank["M_solver->Mult"] = solver_per_rank
+
+    return {
+        "per_cycle": per_cycle,
+        "avg_rank": avg_rank,
+        "cycle_total": {"timeStepLoop": cycle_total},
+    }
+
+
+def generate_marbl_profile(machine: Machine, nodes: int,
+                           ranks_per_node: int = 36, rep: int = 0,
+                           mpi: str | None = None, seed: int = 0,
+                           noise: float = 0.035, cycles: int = 100,
+                           metadata: Mapping[str, Any] | None = None) -> dict:
+    """One MARBL run as a profile dict.
+
+    Call tree::
+
+        main -> timeStepLoop -> {hydro, ale_remap, M_solver->Mult, mpi_comm}
+    """
+    rng = np.random.default_rng(seed * 10_007 + nodes * 101 + rep)
+    ranks = nodes * ranks_per_node
+    times = marbl_times(machine, nodes, ranks_per_node, cycles=cycles)
+    per_cycle = times["per_cycle"]
+    avg_rank = times["avg_rank"]
+    cycle_total = times["cycle_total"]["timeStepLoop"]
+
+    def noisy(t: float) -> float:
+        return float(t * rng.lognormal(0.0, noise))
+
+    # per-rank imbalance: the ALE remap is load-imbalanced (material
+    # interfaces cluster on some ranks) and its imbalance grows with
+    # rank count; hydro/solver stay within a few percent of the mean
+    imbalance_of = {
+        "ale_remap": 1.10 + 0.05 * math.log2(max(ranks / 36.0, 1.0)),
+        "hydro": 1.03,
+        "M_solver->Mult": 1.04,
+        "mpi_comm": 1.15,
+        "timeStepLoop": 1.02,
+        "main": 1.01,
+    }
+
+    def metrics_for(region: str) -> dict[str, float]:
+        avg = noisy(avg_rank[region])
+        imb = max(imbalance_of.get(region, 1.05) * float(
+            rng.lognormal(0.0, 0.01)), 1.0)
+        return {
+            "time per cycle": noisy(per_cycle[region]),
+            "Avg time/rank": avg,
+            "Max time/rank": avg * imb,
+            "Min time/rank": avg * max(2.0 - imb, 0.1),
+            "Total time": avg * ranks,
+        }
+
+    records = [
+        {"path": ("main",), "metrics": metrics_for("main")},
+        {"path": ("main", "timeStepLoop"),
+         "metrics": {**metrics_for("timeStepLoop"),
+                     "time per cycle (inc)": noisy(cycle_total)}},
+    ]
+    for region in ("hydro", "ale_remap", "M_solver->Mult", "mpi_comm"):
+        records.append({
+            "path": ("main", "timeStepLoop", region),
+            "metrics": metrics_for(region),
+        })
+
+    walltime = float(records[1]["metrics"]["time per cycle (inc)"] * cycles)
+    mpi = mpi or ("openmpi" if machine.name == "rztopaz" else "impi")
+    glb: dict[str, Any] = {
+        "cluster": machine.name,
+        "arch": "CTS1" if machine.name == "rztopaz" else "C5n.18xlarge",
+        "ccompiler": "/usr/tce/packages/clang/clang-9.0.0",
+        "mpi": mpi,
+        "version": "v1.1.0-203-gcb0efb3",
+        "numhosts": nodes,
+        "mpi.world.size": ranks,
+        "problem": "Triple-Pt-3D",
+        "num_elems_max": int(math.ceil(TRIPLE_POINT_ELEMENTS / ranks)),
+        "walltime": walltime,
+        "rep": rep,
+        "seed": seed,
+    }
+    glb.update(metadata or {})
+    return {"records": records, "globals": glb}

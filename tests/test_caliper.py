@@ -1,0 +1,176 @@
+"""Unit tests for the measurement substrate (repro.caliper)."""
+
+import json
+import time
+
+import pytest
+
+from repro.caliper import (
+    AdiakCollector,
+    Instrumenter,
+    SyntheticCounterService,
+    TimerService,
+    TopdownService,
+    profile_to_cali_dict,
+    write_cali_json,
+)
+
+
+class TestInstrumenter:
+    def test_nested_regions_build_tree(self):
+        cali = Instrumenter(services=[])
+        with cali.region("main"):
+            with cali.region("solve"):
+                pass
+            with cali.region("io"):
+                pass
+        prof = cali.finish()
+        paths = [r["path"] for r in prof["records"]]
+        assert ("main",) in paths
+        assert ("main", "solve") in paths
+        assert ("main", "io") in paths
+
+    def test_exclusive_attribution(self):
+        svc = SyntheticCounterService()
+        cali = Instrumenter(services=[svc])
+        with cali.region("outer"):
+            svc.charge(ops=10)
+            with cali.region("inner"):
+                svc.charge(ops=5)
+        prof = cali.finish()
+        by_path = {r["path"]: r["metrics"] for r in prof["records"]}
+        assert by_path[("outer",)]["ops"] == 10
+        assert by_path[("outer", "inner")]["ops"] == 5
+
+    def test_timer_attribution(self):
+        cali = Instrumenter()  # default TimerService
+        with cali.region("outer"):
+            with cali.region("inner"):
+                time.sleep(0.005)
+        prof = cali.finish()
+        by_path = {r["path"]: r["metrics"] for r in prof["records"]}
+        assert by_path[("outer", "inner")]["time (exc)"] >= 0.004
+        assert by_path[("outer",)]["time (exc)"] < 0.004
+
+    def test_repeated_region_accumulates(self):
+        svc = SyntheticCounterService()
+        cali = Instrumenter(services=[svc])
+        for _ in range(3):
+            with cali.region("loop"):
+                svc.charge(ops=1)
+        prof = cali.finish()
+        rec = prof["records"][0]
+        assert rec["metrics"]["ops"] == 3
+        assert rec["visits"] == 3
+
+    def test_mismatched_end_detected(self):
+        cali = Instrumenter(services=[])
+        cali.begin("a")
+        with pytest.raises(RuntimeError):
+            cali.end("b")
+
+    def test_end_without_begin(self):
+        with pytest.raises(RuntimeError):
+            Instrumenter(services=[]).end()
+
+    def test_finish_with_open_region_rejected(self):
+        cali = Instrumenter(services=[])
+        cali.begin("dangling")
+        with pytest.raises(RuntimeError, match="dangling"):
+            cali.finish()
+
+    def test_decorator(self):
+        svc = SyntheticCounterService()
+        cali = Instrumenter(services=[svc])
+
+        @cali.instrument()
+        def kernel():
+            svc.charge(flops=7)
+
+        kernel()
+        prof = cali.finish()
+        assert prof["records"][0]["path"] == ("kernel",)
+        assert prof["records"][0]["metrics"]["flops"] == 7
+
+    def test_metadata_merged_from_services(self):
+        cali = Instrumenter(services=[SyntheticCounterService()])
+        with cali.region("r"):
+            pass
+        prof = cali.finish(metadata={"cluster": "quartz"})
+        assert prof["globals"]["cluster"] == "quartz"
+        assert prof["globals"]["counter.service"] == "synthetic"
+
+
+class TestTopdownService:
+    def test_charge_slots(self):
+        svc = TopdownService()
+        svc.charge_slots(retiring=10, backend=30)
+        snap = svc.snapshot()
+        assert snap["slots_retiring"] == 10
+        assert snap["slots_backend_bound"] == 30
+
+    def test_cost_model_required(self):
+        with pytest.raises(RuntimeError):
+            TopdownService().charge_work("stream", 1.0)
+
+    def test_cost_model_callback(self):
+        svc = TopdownService(
+            cost_model=lambda kind, amount: {"backend": amount * 2})
+        svc.charge_work("stream", 3.0)
+        assert svc.snapshot()["slots_backend_bound"] == 6.0
+
+
+class TestAdiak:
+    def test_auto_environment(self):
+        adiak = AdiakCollector()
+        frozen = adiak.freeze()
+        assert "user" in frozen and "launchdate" in frozen
+
+    def test_explicit_values_override(self):
+        adiak = AdiakCollector(auto=False)
+        adiak.value("cluster", "lassen")
+        adiak.value("cluster", "quartz")
+        assert adiak["cluster"] == "quartz"
+        assert len(adiak) == 1
+
+    def test_freeze_is_snapshot(self):
+        adiak = AdiakCollector(auto=False)
+        frozen = adiak.freeze()
+        adiak.value("late", 1)
+        assert "late" not in frozen
+
+    def test_deterministic_clock(self):
+        import datetime
+
+        adiak = AdiakCollector(clock=lambda: datetime.datetime(2022, 11, 30))
+        assert adiak["launchdate"] == "2022-11-30 00:00:00"
+
+
+class TestWriter:
+    def test_cali_dict_structure(self):
+        prof = {"records": [
+            {"path": ("main",), "metrics": {"t": 1.0}},
+            {"path": ("main", "solve"), "metrics": {"t": 2.0, "ops": 5}},
+        ], "globals": {"cluster": "quartz"}}
+        payload = profile_to_cali_dict(prof)
+        assert payload["columns"] == ["path", "t", "ops"]
+        assert payload["nodes"][0] == {"label": "main", "column": "path"}
+        assert payload["nodes"][1]["parent"] == 0
+        assert payload["column_metadata"][0] == {"is_value": False}
+        # missing metric becomes None
+        assert payload["data"][0] == [0, 1.0, None]
+
+    def test_write_creates_valid_json(self, tmp_path):
+        prof = {"records": [{"path": ("a",), "metrics": {"t": 1.0}}],
+                "globals": {}}
+        path = write_cali_json(prof, tmp_path / "sub" / "p.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["nodes"][0]["label"] == "a"
+
+    def test_deep_path_creates_intermediate_nodes(self):
+        prof = {"records": [
+            {"path": ("a", "b", "c"), "metrics": {"t": 1.0}},
+        ], "globals": {}}
+        payload = profile_to_cali_dict(prof)
+        labels = [n["label"] for n in payload["nodes"]]
+        assert labels == ["a", "b", "c"]

@@ -1,0 +1,75 @@
+"""Unit tests for the extended Caliper services (loop, memory)."""
+
+import pytest
+
+from repro.caliper import Instrumenter
+from repro.caliper.services import LoopService, MemoryHighwaterService
+
+
+class TestLoopService:
+    def test_iterations_attributed_to_region(self):
+        loop = LoopService()
+        cali = Instrumenter(services=[loop])
+        with cali.region("main"):
+            with cali.region("timestep"):
+                for _ in range(50):
+                    loop.iteration()
+        prof = cali.finish()
+        by_path = {r["path"]: r["metrics"] for r in prof["records"]}
+        assert by_path[("main", "timestep")]["iterations"] == 50
+        assert by_path[("main",)]["iterations"] == 0  # exclusive
+
+    def test_batched_iterations(self):
+        loop = LoopService()
+        cali = Instrumenter(services=[loop])
+        with cali.region("k"):
+            loop.iteration(2000)
+        prof = cali.finish()
+        assert prof["records"][0]["metrics"]["iterations"] == 2000
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LoopService().iteration(-1)
+
+    def test_metadata_flag(self):
+        assert LoopService().metadata()["loop.service"] == "enabled"
+
+
+class TestMemoryHighwaterService:
+    def test_peak_tracks_maximum(self):
+        mem = MemoryHighwaterService()
+        mem.allocate(100)
+        mem.allocate(200)
+        mem.free(250)
+        mem.allocate(10)
+        assert mem.snapshot()["mem.highwater"] == 300
+        assert mem.current_bytes == 60
+
+    def test_free_clamps_at_zero(self):
+        mem = MemoryHighwaterService()
+        mem.allocate(10)
+        mem.free(100)
+        assert mem.current_bytes == 0.0
+
+    def test_region_attribution_of_peak_growth(self):
+        mem = MemoryHighwaterService()
+        cali = Instrumenter(services=[mem])
+        with cali.region("main"):
+            mem.allocate(1000)          # main's own growth
+            with cali.region("solve"):
+                mem.allocate(5000)      # solve grows the peak by 5000
+                mem.free(5000)
+            with cali.region("io"):
+                mem.allocate(100)       # under the peak: no growth
+                mem.free(100)
+        prof = cali.finish()
+        by_path = {r["path"]: r["metrics"] for r in prof["records"]}
+        assert by_path[("main", "solve")]["mem.highwater"] == 5000
+        assert by_path[("main", "io")]["mem.highwater"] == 0
+        assert by_path[("main",)]["mem.highwater"] == 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryHighwaterService().allocate(-1)
+        with pytest.raises(ValueError):
+            MemoryHighwaterService().free(-1)

@@ -1,0 +1,110 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+from repro.workloads import write_marbl_campaign, write_raja_campaign
+
+
+@pytest.fixture(scope="module")
+def marbl_dir(tmp_path_factory):
+    d = tmp_path_factory.mktemp("marbl_profiles")
+    write_marbl_campaign(d, scale=0.2)
+    return str(d)
+
+
+@pytest.fixture(scope="module")
+def raja_dir(tmp_path_factory):
+    d = tmp_path_factory.mktemp("raja_profiles")
+    write_raja_campaign(d, scale=0.1,
+                        kernels=["Stream_DOT", "Apps_VOL3D"])
+    return str(d)
+
+
+class TestSummarize:
+    def test_prints_overview(self, marbl_dir, capsys):
+        assert main(["summarize", marbl_dir]) == 0
+        out = capsys.readouterr().out
+        assert "profiles : 12" in out
+        assert "Avg time/rank" in out
+
+    def test_empty_dir_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["summarize", str(tmp_path)])
+
+
+class TestMetadata:
+    def test_column_subset(self, marbl_dir, capsys):
+        assert main(["metadata", marbl_dir, "--columns",
+                     "cluster,numhosts"]) == 0
+        out = capsys.readouterr().out
+        assert "rztopaz" in out
+        assert "walltime" not in out
+
+    def test_unknown_column(self, marbl_dir):
+        with pytest.raises(SystemExit):
+            main(["metadata", marbl_dir, "--columns", "ghost"])
+
+
+class TestTree:
+    def test_tree_with_stat(self, marbl_dir, capsys):
+        assert main(["tree", marbl_dir, "--metric", "Avg time/rank",
+                     "--stat", "mean"]) == 0
+        out = capsys.readouterr().out
+        assert "timeStepLoop" in out
+        assert "M_solver->Mult" in out
+
+    def test_unknown_stat(self, marbl_dir):
+        with pytest.raises(SystemExit):
+            main(["tree", marbl_dir, "--metric", "Avg time/rank",
+                  "--stat", "bogus"])
+
+
+class TestStats:
+    def test_stats_table(self, marbl_dir, capsys):
+        assert main(["stats", marbl_dir, "--metrics", "Avg time/rank",
+                     "--functions", "mean,std"]) == 0
+        out = capsys.readouterr().out
+        assert "Avg time/rank_mean" in out
+        assert "Avg time/rank_std" in out
+
+    def test_unknown_function(self, marbl_dir):
+        with pytest.raises(SystemExit):
+            main(["stats", marbl_dir, "--metrics", "Avg time/rank",
+                  "--functions", "bogus"])
+
+
+class TestQuery:
+    def test_query_matches(self, marbl_dir, capsys):
+        rc = main(["query", marbl_dir, "--query",
+                   'MATCH (".", p)->("+") WHERE p."name" = "timeStepLoop"',
+                   "--metric", "Avg time/rank"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "hydro" in out
+        assert "main" not in out.splitlines()[0]
+
+    def test_query_no_match_exit_code(self, marbl_dir, capsys):
+        rc = main(["query", marbl_dir, "--query",
+                   'MATCH (".", p) WHERE p."name" = "ghost"'])
+        assert rc == 1
+        assert "no matches" in capsys.readouterr().out
+
+
+class TestModelScaling:
+    def test_model_lists_every_region(self, marbl_dir, capsys):
+        assert main(["model", marbl_dir, "--parameter", "mpi.world.size",
+                     "--metric", "Avg time/rank"]) == 0
+        out = capsys.readouterr().out
+        assert "M_solver->Mult" in out
+        assert "R2=" in out
+
+    def test_scaling_table(self, marbl_dir, capsys):
+        assert main(["scaling", marbl_dir, "--node", "timeStepLoop",
+                     "--metric", "time per cycle (inc)"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "karp_flatt" in out
+
+    def test_raja_summarize(self, raja_dir, capsys):
+        assert main(["summarize", raja_dir]) == 0
+        assert "time (exc)" in capsys.readouterr().out

@@ -1,0 +1,137 @@
+"""Failure-injection tests: malformed inputs must fail loudly and early.
+
+A tool that silently mis-reads a profile poisons every downstream
+analysis; these tests pin the error behaviour of the readers, the
+thicket constructor, and the frame layer under corrupt input.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import Thicket
+from repro.caliper import profile_to_cali_dict, write_cali_json
+from repro.readers import read_cali_dict, read_cali_json
+
+
+def valid_payload():
+    return profile_to_cali_dict({
+        "records": [
+            {"path": ("main",), "metrics": {"t": 1.0}},
+            {"path": ("main", "solve"), "metrics": {"t": 2.0}},
+        ],
+        "globals": {"id": 1},
+    })
+
+
+class TestCorruptProfiles:
+    def test_truncated_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"data": [[0, 1.0]], "columns": ["path"')
+        with pytest.raises(json.JSONDecodeError):
+            read_cali_json(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_cali_json(tmp_path / "nope.json")
+
+    def test_missing_required_section(self):
+        payload = valid_payload()
+        del payload["nodes"]
+        with pytest.raises(KeyError):
+            read_cali_dict(payload)
+
+    def test_dangling_parent_reference(self):
+        payload = valid_payload()
+        payload["nodes"][1]["parent"] = 99
+        with pytest.raises(IndexError):
+            read_cali_dict(payload)
+
+    def test_row_referencing_unknown_node(self):
+        payload = valid_payload()
+        payload["data"][0][0] = 42
+        with pytest.raises(IndexError):
+            read_cali_dict(payload)
+
+    def test_null_metric_cells_become_nan(self):
+        payload = valid_payload()
+        payload["data"][0][1] = None
+        gf = read_cali_dict(payload)
+        assert np.isnan(gf.dataframe.column("t")[0])
+
+    def test_empty_records_profile(self):
+        payload = profile_to_cali_dict({"records": [], "globals": {}})
+        gf = read_cali_dict(payload)
+        assert len(gf.graph) == 0
+        assert len(gf.dataframe) == 0
+
+
+class TestThicketConstructionFailures:
+    def test_mixed_good_and_bad_files(self, tmp_path):
+        good = write_cali_json({
+            "records": [{"path": ("a",), "metrics": {"t": 1.0}}],
+            "globals": {"id": 1},
+        }, tmp_path / "good.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json at all")
+        with pytest.raises(json.JSONDecodeError):
+            Thicket.from_caliperreader([good, bad])
+
+    def test_duplicate_hash_profiles_rejected(self, tmp_path):
+        """Two byte-identical runs hash identically — must be an error,
+        not a silent row duplication."""
+        prof = {"records": [{"path": ("a",), "metrics": {"t": 1.0}}],
+                "globals": {"same": "metadata"}}
+        p1 = write_cali_json(prof, tmp_path / "p1.json")
+        p2 = write_cali_json(prof, tmp_path / "p2.json")
+        # identical globals -> "profile.file" disambiguates (set by reader)
+        tk = Thicket.from_caliperreader([p1, p2])
+        assert len(tk.profile) == 2
+
+    def test_truly_identical_metadata_rejected(self):
+        from repro.graph import GraphFrame
+
+        a = GraphFrame.from_literal([{"frame": {"name": "m"},
+                                      "metrics": {"t": 1.0}}])
+        b = GraphFrame.from_literal([{"frame": {"name": "m"},
+                                      "metrics": {"t": 2.0}}])
+        a.metadata.update({"id": 1})
+        b.metadata.update({"id": 1})
+        with pytest.raises(ValueError):
+            Thicket.from_caliperreader([a, b])
+
+
+class TestFrameEdgeCases:
+    def test_boolean_mask_length_mismatch(self):
+        from repro.frame import DataFrame
+
+        df = DataFrame({"a": [1, 2, 3]})
+        with pytest.raises(ValueError):
+            df[np.array([True, False])]
+
+    def test_stats_on_all_nan_column(self):
+        from repro.core import stats
+        from repro.graph import GraphFrame
+
+        a = GraphFrame.from_literal([{"frame": {"name": "m"},
+                                      "metrics": {"t": 1.0}}])
+        a.metadata["id"] = 1
+        b = GraphFrame.from_literal([{"frame": {"name": "m"},
+                                      "metrics": {"t": 2.0, "extra": 5.0}}])
+        b.metadata["id"] = 2
+        tk = Thicket.from_caliperreader([a, b])
+        stats.mean(tk, ["extra"])  # one NaN row — must not crash
+        vals = tk.statsframe.column("extra_mean").astype(float)
+        assert vals[0] == pytest.approx(5.0)
+
+    def test_query_on_empty_thicket(self, tmp_path):
+        from repro import QueryMatcher
+
+        prof = {"records": [{"path": ("a",), "metrics": {"t": 1.0}}],
+                "globals": {"id": 9}}
+        path = write_cali_json(prof, tmp_path / "p.json")
+        tk = Thicket.from_caliperreader(path)
+        out = tk.query(QueryMatcher().match(".", lambda r: False))
+        assert len(out.dataframe) == 0
+        assert len(out.graph) == 0

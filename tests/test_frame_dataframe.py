@@ -1,0 +1,292 @@
+"""Unit tests for repro.frame.dataframe."""
+
+import numpy as np
+import pytest
+
+from repro.frame import DataFrame, Index, MultiIndex, Series
+
+
+@pytest.fixture
+def df():
+    return DataFrame({
+        "compiler": ["clang", "clang", "xlc", "xlc"],
+        "size": [1, 4, 1, 4],
+        "time": [0.1, 0.4, 0.12, 0.44],
+    })
+
+
+class TestConstruction:
+    def test_from_dict(self, df):
+        assert df.shape == (4, 3)
+        assert df.columns == ["compiler", "size", "time"]
+
+    def test_from_records(self):
+        df = DataFrame([{"a": 1, "b": 2}, {"a": 3, "c": 4}])
+        assert df.columns == ["a", "b", "c"]
+        assert df.column("b")[1] is None or np.isnan(df.column("b")[1])
+
+    def test_column_length_mismatch(self):
+        with pytest.raises(ValueError):
+            DataFrame({"a": [1, 2], "b": [1]})
+
+    def test_scalar_broadcast(self):
+        df = DataFrame({"a": [1, 2]})
+        df["c"] = 7
+        assert list(df.column("c")) == [7, 7]
+
+    def test_empty(self):
+        df = DataFrame()
+        assert df.empty
+        assert df.shape == (0, 0)
+
+    def test_explicit_columns_add_missing(self):
+        df = DataFrame({"a": [1.0]}, columns=["a", "b"])
+        assert "b" in df
+
+    def test_from_dataframe(self, df):
+        clone = DataFrame(df)
+        assert clone.equals(df)
+
+
+class TestSelection:
+    def test_getitem_column(self, df):
+        s = df["time"]
+        assert isinstance(s, Series)
+        assert s.name == "time"
+
+    def test_getitem_list(self, df):
+        sub = df[["compiler", "time"]]
+        assert sub.columns == ["compiler", "time"]
+
+    def test_getitem_mask(self, df):
+        sub = df[df["compiler"] == "clang"]
+        assert len(sub) == 2
+
+    def test_missing_column_raises(self, df):
+        with pytest.raises(KeyError):
+            df["nope"]
+
+    def test_loc_label(self, df):
+        row = df.loc[2]
+        assert row["compiler"] == "xlc"
+
+    def test_loc_list(self, df):
+        sub = df.loc[[0, 3]]
+        assert len(sub) == 2
+        with pytest.raises(KeyError):
+            df.loc[[0, 99]]
+
+    def test_iloc(self, df):
+        assert df.iloc[1]["size"] == 4
+        assert len(df.iloc[1:3]) == 2
+        assert len(df.iloc[[0, 2]]) == 2
+
+    def test_head_take(self, df):
+        assert len(df.head(2)) == 2
+        assert list(df.take([3, 0])["size"].values) == [4, 1]
+
+    def test_get_with_default(self, df):
+        assert df.get("nope", "fallback") == "fallback"
+
+    def test_xs_on_multiindex(self):
+        mi = MultiIndex([("a", 1), ("a", 2), ("b", 1)], names=["k", "p"])
+        df = DataFrame({"v": [1.0, 2.0, 3.0]}, index=mi)
+        sub = df.xs("a", level="k")
+        assert len(sub) == 2
+        assert list(sub.index) == [1, 2]
+
+    def test_xs_requires_multi(self, df):
+        with pytest.raises(TypeError):
+            df.xs("a")
+
+
+class TestHierarchicalColumns:
+    def test_tuple_columns_prefix_select(self):
+        df = DataFrame({("CPU", "time"): [1.0], ("GPU", "time"): [2.0]})
+        cpu = df["CPU"]
+        assert cpu.columns == ["time"]
+        assert cpu.column("time")[0] == 1.0
+
+    def test_add_column_level(self, df):
+        lifted = df.add_column_level("CPU")
+        assert ("CPU", "time") in lifted
+        assert lifted.column_nlevels() == 2
+        assert lifted.top_level_columns() == ["CPU"]
+
+    def test_column_nlevels_flat(self, df):
+        assert df.column_nlevels() == 1
+
+
+class TestMutation:
+    def test_setitem_series(self, df):
+        df["double"] = df["time"] * 2
+        assert df.column("double")[1] == pytest.approx(0.8)
+
+    def test_insert_position(self, df):
+        df.insert(0, "first", [9, 9, 9, 9])
+        assert df.columns[0] == "first"
+
+    def test_drop_columns(self, df):
+        out = df.drop(columns="time")
+        assert "time" not in out
+        assert "time" in df  # original untouched
+        with pytest.raises(KeyError):
+            df.drop(columns="ghost")
+
+    def test_drop_rows(self, df):
+        out = df.drop(index=[0, 1])
+        assert len(out) == 2
+
+    def test_rename(self, df):
+        out = df.rename({"time": "t"})
+        assert "t" in out and "time" not in out
+
+    def test_copy_independent(self, df):
+        clone = df.copy()
+        clone.column("time")[0] = 99.0
+        assert df.column("time")[0] == pytest.approx(0.1)
+
+
+class TestIndexOps:
+    def test_set_index_single(self, df):
+        out = df.set_index("compiler")
+        assert out.index.name == "compiler"
+        assert "compiler" not in out
+
+    def test_set_index_multi(self, df):
+        out = df.set_index(["compiler", "size"])
+        assert isinstance(out.index, MultiIndex)
+        assert out.index.names == ["compiler", "size"]
+
+    def test_set_index_keep_column(self, df):
+        out = df.set_index("compiler", drop=False)
+        assert "compiler" in out
+
+    def test_reset_index(self, df):
+        out = df.set_index("compiler").reset_index()
+        assert "compiler" in out
+        assert out.index.values[0] == 0
+
+    def test_reset_multi_index(self, df):
+        out = df.set_index(["compiler", "size"]).reset_index()
+        assert "compiler" in out and "size" in out
+
+    def test_reindex_fills_missing(self, df):
+        out = df.reindex([0, 1, 99])
+        assert len(out) == 3
+        assert np.isnan(out.column("time")[2])
+        assert out.column("compiler")[2] is None
+
+    def test_sort_values(self, df):
+        out = df.sort_values("time", ascending=False)
+        assert out.column("time")[0] == pytest.approx(0.44)
+
+    def test_sort_values_multi_key(self, df):
+        out = df.sort_values(["size", "compiler"])
+        assert list(out.column("size")[:2]) == [1, 1]
+
+    def test_sort_index(self):
+        df = DataFrame({"v": [1, 2]}, index=Index(["b", "a"]))
+        assert list(df.sort_index().index) == ["a", "b"]
+
+
+class TestComputation:
+    def test_agg_mapping(self, df):
+        out = df.agg({"time": "mean", "size": "max"})
+        assert out["time"] == pytest.approx(0.265)
+        assert out["size"] == 4
+
+    def test_apply_rows(self, df):
+        out = df.apply(lambda r: r["time"] * r["size"], axis=1)
+        assert out.values[1] == pytest.approx(1.6)
+
+    def test_apply_columns(self, df):
+        out = df[["time"]].apply(lambda s: s.max())
+        assert out["time"] == pytest.approx(0.44)
+
+    def test_dropna(self):
+        df = DataFrame({"a": [1.0, np.nan], "b": ["x", "y"]})
+        assert len(df.dropna()) == 1
+        assert len(df.dropna(subset=["b"])) == 2
+
+    def test_fillna(self):
+        df = DataFrame({"a": [1.0, np.nan]}).fillna(0.0)
+        assert list(df.column("a")) == [1.0, 0.0]
+
+    def test_to_numpy(self, df):
+        arr = df.to_numpy(columns=["size", "time"])
+        assert arr.shape == (4, 2)
+
+
+class TestExport:
+    def test_iterrows(self, df):
+        rows = list(df.iterrows())
+        assert rows[0][1]["compiler"] == "clang"
+
+    def test_to_dict_records(self, df):
+        recs = df.to_dict("records")
+        assert recs[3]["size"] == 4
+
+    def test_to_dict_bad_orient(self, df):
+        with pytest.raises(ValueError):
+            df.to_dict("bananas")
+
+    def test_repr_contains_columns(self, df):
+        text = repr(df)
+        assert "compiler" in text and "4 rows" in text
+
+    def test_repr_multiindex_blanks_repeats(self):
+        mi = MultiIndex([("n", 1), ("n", 2)], names=["node", "p"])
+        df = DataFrame({"v": [1.0, 2.0]}, index=mi)
+        lines = repr(df).splitlines()
+        # first data row shows the "n" prefix; the second blanks the repeat
+        assert lines[1].startswith("n")
+        assert not lines[2].startswith("n")
+
+    def test_equals(self, df):
+        assert df.equals(df.copy())
+        assert not df.equals(df.drop(columns="time"))
+
+
+class TestDescribeUnstack:
+    def test_describe_statistics(self, df):
+        d = df.describe()
+        assert list(d.index) == ["count", "mean", "std", "min", "25%",
+                                 "50%", "75%", "max"]
+        assert d.column("time")[0] == 4.0        # count
+        assert d.column("time")[1] == pytest.approx(0.265)
+        assert "compiler" not in d  # non-numeric excluded
+
+    def test_describe_empty_column(self):
+        d = DataFrame({"x": [np.nan, np.nan]}).describe()
+        assert d.column("x")[0] == 0.0
+        assert np.isnan(d.column("x")[1])
+
+    def test_unstack_profile_level(self):
+        mi = MultiIndex([("n1", 1), ("n1", 2), ("n2", 1), ("n2", 2)],
+                        names=["node", "profile"])
+        df = DataFrame({"t": [1.0, 2.0, 3.0, 4.0]}, index=mi)
+        u = df.unstack("profile")
+        assert u.columns == [("t", 1), ("t", 2)]
+        assert list(u.index) == ["n1", "n2"]
+        assert u.column(("t", 2))[1] == 4.0
+
+    def test_unstack_missing_cells_are_none(self):
+        mi = MultiIndex([("n1", 1), ("n2", 2)], names=["node", "profile"])
+        df = DataFrame({"t": [1.0, 2.0]}, index=mi)
+        u = df.unstack("profile")
+        cell = u.column(("t", 2))[0]
+        assert cell is None or np.isnan(cell)
+
+    def test_unstack_requires_multiindex(self, df):
+        with pytest.raises(TypeError):
+            df.unstack()
+
+    def test_unstack_default_last_level(self):
+        mi = MultiIndex([("a", "x", 1), ("a", "x", 2)],
+                        names=["l0", "l1", "l2"])
+        df = DataFrame({"v": [1.0, 2.0]}, index=mi)
+        u = df.unstack()
+        assert isinstance(u.index, MultiIndex)
+        assert u.index.names == ["l0", "l1"]
+        assert u.columns == [("v", 1), ("v", 2)]

@@ -1,0 +1,139 @@
+"""Unit tests for repro.frame.display and repro.frame.ops."""
+
+import numpy as np
+import pytest
+
+from repro.frame import DataFrame, Index, MultiIndex
+from repro.frame.display import format_frame, format_value
+from repro.frame.ops import (
+    AGGREGATIONS,
+    coerce_column,
+    is_missing,
+    numeric_values,
+    resolve_aggregation,
+)
+
+
+class TestFormatValue:
+    def test_none(self):
+        assert format_value(None) == "None"
+
+    def test_nan(self):
+        assert format_value(float("nan")) == "NaN"
+
+    def test_float_formatting(self):
+        assert format_value(0.123456789) == "0.123457"
+        assert format_value(1.0, float_fmt="{:.2f}") == "1.00"
+
+    def test_passthrough(self):
+        assert format_value("text") == "text"
+        assert format_value(42) == "42"
+
+
+class TestFormatFrame:
+    def test_truncation_marker(self):
+        df = DataFrame({"v": list(range(100))})
+        text = format_frame(df, max_rows=5)
+        assert "... [100 rows x 1 columns]" in text
+        assert text.count("\n") < 12
+
+    def test_column_banner_blanks_repeats(self):
+        df = DataFrame({("CPU", "a"): [1.0], ("CPU", "b"): [2.0],
+                        ("GPU", "a"): [3.0]})
+        first_line = format_frame(df).splitlines()[0]
+        # "CPU" printed once, then blanked before "GPU"
+        assert first_line.count("CPU") == 1
+        assert first_line.count("GPU") == 1
+
+    def test_empty_frame(self):
+        assert "[0 rows x 0 columns]" in format_frame(DataFrame())
+
+    def test_index_name_shown(self):
+        df = DataFrame({"v": [1]}, index=Index(["x"], name="profile"))
+        assert format_frame(df).splitlines()[0].startswith("profile")
+
+    def test_multiindex_names_header(self):
+        mi = MultiIndex([("a", 1)], names=["node", "p"])
+        df = DataFrame({"v": [1.0]}, index=mi)
+        header = format_frame(df).splitlines()[0]
+        assert "node" in header and "p" in header
+
+
+class TestCoerceColumn:
+    def test_scalar_needs_length(self):
+        with pytest.raises(ValueError):
+            coerce_column(5)
+
+    def test_scalar_broadcast_types(self):
+        assert coerce_column(True, 3).dtype == bool
+        assert coerce_column(2, 3).dtype == np.int64
+        assert coerce_column(2.5, 3).dtype == np.float64
+        assert coerce_column("x", 2).dtype == object
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            coerce_column([1, 2], 3)
+
+    def test_int_float_none_promotes_to_float(self):
+        out = coerce_column([1, 2.5, None], 3)
+        assert out.dtype == np.float64
+        assert np.isnan(out[2])
+
+    def test_unicode_array_becomes_object(self):
+        out = coerce_column(np.array(["a", "b"]), 2)
+        assert out.dtype == object
+
+    def test_mixed_becomes_object(self):
+        out = coerce_column([1, "a"], 2)
+        assert out.dtype == object
+
+
+class TestMissingAndNumeric:
+    def test_is_missing_float(self):
+        assert list(is_missing(np.array([1.0, np.nan]))) == [False, True]
+
+    def test_is_missing_object(self):
+        arr = coerce_column(["a", None, float("nan")], 3)
+        assert list(is_missing(arr)) == [False, True, True]
+
+    def test_is_missing_int_never(self):
+        assert not is_missing(np.array([1, 2])).any()
+
+    def test_numeric_values_drops_missing(self):
+        out = numeric_values(np.array([1.0, np.nan, 3.0]))
+        assert list(out) == [1.0, 3.0]
+
+    def test_numeric_values_object_rejects_text(self):
+        arr = coerce_column([1, "oops"], 2)
+        with pytest.raises(TypeError):
+            numeric_values(arr)
+
+
+class TestAggregations:
+    def test_catalogue_complete(self):
+        assert set(AGGREGATIONS) == {
+            "mean", "median", "sum", "min", "max", "std", "var",
+            "first", "last", "count", "nunique"}
+
+    def test_first_last_skip_missing(self):
+        arr = coerce_column([None, "a", "b", None], 4)
+        assert AGGREGATIONS["first"](arr) == "a"
+        assert AGGREGATIONS["last"](arr) == "b"
+
+    def test_count_nunique(self):
+        arr = coerce_column([1.0, 1.0, np.nan, 2.0], 4)
+        assert AGGREGATIONS["count"](arr) == 3
+        assert AGGREGATIONS["nunique"](arr) == 2
+
+    def test_std_single_value_zero(self):
+        assert AGGREGATIONS["std"](np.array([5.0])) == 0.0
+
+    def test_empty_mean_nan(self):
+        assert np.isnan(AGGREGATIONS["mean"](np.array([], dtype=float)))
+
+    def test_resolve_by_name_and_callable(self):
+        assert resolve_aggregation("mean") is AGGREGATIONS["mean"]
+        fn = lambda a: 7  # noqa: E731
+        assert resolve_aggregation(fn) is fn
+        with pytest.raises(ValueError):
+            resolve_aggregation("mode")

@@ -1,0 +1,111 @@
+"""Unit tests for repro.frame.groupby."""
+
+import numpy as np
+import pytest
+
+from repro.frame import DataFrame, MultiIndex
+
+
+@pytest.fixture
+def df():
+    return DataFrame({
+        "compiler": ["clang", "clang", "xlc", "xlc", "clang"],
+        "size": [1, 4, 1, 4, 1],
+        "time": [0.1, 0.4, 0.12, 0.44, 0.14],
+    })
+
+
+class TestGrouping:
+    def test_groups_partition(self, df):
+        gb = df.groupby("compiler")
+        assert set(gb.groups) == {"clang", "xlc"}
+        assert sum(len(p) for p in gb.groups.values()) == len(df)
+
+    def test_by_and_level_mutually_exclusive(self, df):
+        with pytest.raises(ValueError):
+            df.groupby()
+        with pytest.raises(ValueError):
+            df.groupby(by="compiler", level=0)
+
+    def test_multi_column_keys(self, df):
+        gb = df.groupby(["compiler", "size"])
+        assert ("clang", 1) in gb.groups
+        assert len(gb) == 4
+
+    def test_iteration_yields_subframes(self, df):
+        for key, sub in df.groupby("compiler"):
+            assert all(v == key for v in sub.column("compiler"))
+
+    def test_get_group_and_size(self, df):
+        gb = df.groupby("compiler")
+        assert len(gb.get_group("clang")) == 3
+        assert gb.size()["xlc"] == 2
+
+    def test_group_by_multiindex_level(self):
+        mi = MultiIndex([("a", 1), ("a", 2), ("b", 1)], names=["node", "p"])
+        df = DataFrame({"t": [1.0, 3.0, 5.0]}, index=mi)
+        out = df.groupby(level="node").agg({"t": "mean"})
+        assert out.column("t")[0] == pytest.approx(2.0)
+        assert out.index.name == "node"
+
+    def test_group_by_plain_index(self):
+        df = DataFrame({"t": [1.0, 2.0]})
+        out = df.groupby(level=0).agg({"t": "sum"})
+        assert len(out) == 2
+
+    def test_unknown_level(self, df):
+        with pytest.raises(KeyError):
+            df.groupby(level="ghost").groups
+
+
+class TestAggregation:
+    def test_single_function_all_columns(self, df):
+        out = df.groupby("compiler").agg("mean")
+        assert out.column("time")[list(out.index).index("clang")] == pytest.approx(
+            (0.1 + 0.4 + 0.14) / 3)
+        # key column excluded from outputs
+        assert "compiler" not in out.columns
+
+    def test_mapping_with_multiple_functions(self, df):
+        out = df.groupby("compiler").agg({"time": ["mean", "std"]})
+        assert "time_mean" in out.columns
+        assert "time_std" in out.columns
+
+    def test_mapping_single_function_keeps_name(self, df):
+        out = df.groupby("compiler").agg({"time": "max"})
+        assert "time" in out.columns
+
+    def test_callable_aggregation(self, df):
+        out = df.groupby("compiler").agg({"time": lambda a: float(np.ptp(
+            a.astype(float)))})
+        assert out.column("time")[0] >= 0
+
+    def test_convenience_methods(self, df):
+        gb = df.groupby("compiler")
+        assert gb.mean().column("time")[1] == pytest.approx(0.28)
+        assert gb.max().column("size")[0] == 4
+        assert gb.count().column("time")[0] == 3
+        assert gb.sum().column("size")[1] == 5
+        assert gb.median().column("time")[0] == pytest.approx(0.14)
+        assert gb.min().column("time")[0] == pytest.approx(0.1)
+        assert gb.std().column("time")[1] == pytest.approx(
+            np.std([0.12, 0.44], ddof=1))
+        assert gb.var().column("time")[1] == pytest.approx(
+            np.var([0.12, 0.44], ddof=1))
+
+    def test_tuple_column_suffix(self):
+        df = DataFrame({("CPU", "t"): [1.0, 2.0], "k": ["a", "a"]})
+        out = df.groupby("k").agg({("CPU", "t"): ["mean", "std"]})
+        assert ("CPU", "t_mean") in out.columns
+
+    def test_multi_key_result_index(self, df):
+        out = df.groupby(["compiler", "size"]).agg({"time": "mean"})
+        assert isinstance(out.index, MultiIndex)
+        assert out.index.names == ["compiler", "size"]
+
+    def test_apply(self, df):
+        spans = df.groupby("compiler").apply(lambda sub: len(sub))
+        assert spans == {"clang": 3, "xlc": 2}
+
+    def test_keys_sorted(self, df):
+        assert list(df.groupby("size").groups) == [1, 4]

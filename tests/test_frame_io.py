@@ -1,0 +1,79 @@
+"""Unit tests for repro.frame.io (CSV/JSON round trips)."""
+
+import numpy as np
+import pytest
+
+from repro.frame import (
+    DataFrame,
+    Index,
+    MultiIndex,
+    from_json,
+    read_csv,
+    to_csv,
+    to_json,
+)
+
+
+@pytest.fixture
+def df():
+    return DataFrame(
+        {"compiler": ["clang", "xlc"], "time": [0.25, 0.5]},
+        index=Index([101, 102], name="profile"),
+    )
+
+
+class TestCSV:
+    def test_round_trip(self, df, tmp_path):
+        path = tmp_path / "t.csv"
+        to_csv(df, path)
+        back = read_csv(path, index_col=0)
+        assert list(back.index) == [101, 102]
+        assert back.column("time")[1] == pytest.approx(0.5)
+        assert back.column("compiler")[0] == "clang"
+
+    def test_returns_text_without_path(self, df):
+        text = to_csv(df)
+        assert text.splitlines()[0] == "profile,compiler,time"
+
+    def test_tuple_columns_flatten(self):
+        df = DataFrame({("CPU", "t"): [1.0]})
+        assert "CPU.t" in to_csv(df).splitlines()[0]
+
+    def test_multiindex_rows(self):
+        mi = MultiIndex([("n1", 1)], names=["node", "p"])
+        text = to_csv(DataFrame({"v": [3.0]}, index=mi))
+        assert text.splitlines()[0] == "node,p,v"
+        assert text.splitlines()[1] == "n1,1,3.0"
+
+    def test_empty_cell_parses_to_none(self):
+        back = read_csv("a,b\n1,\n")
+        assert back.column("b")[0] is None
+
+
+class TestJSON:
+    def test_round_trip_plain(self, df, tmp_path):
+        path = tmp_path / "t.json"
+        to_json(df, path)
+        back = from_json(path)
+        assert back.columns == df.columns
+        assert list(back.index) == [101, 102]
+        assert back.index.name == "profile"
+
+    def test_round_trip_tuple_columns_and_multiindex(self, tmp_path):
+        mi = MultiIndex([("n1", 1), ("n1", 2)], names=["node", "p"])
+        df = DataFrame({("CPU", "t"): [1.0, 2.0]}, index=mi)
+        path = tmp_path / "t.json"
+        to_json(df, path)
+        back = from_json(path)
+        assert ("CPU", "t") in back
+        assert isinstance(back.index, MultiIndex)
+        assert back.index[1] == ("n1", 2)
+
+    def test_text_round_trip(self, df):
+        text = to_json(df)
+        back = from_json(text)
+        assert back.column("time")[0] == pytest.approx(0.25)
+
+    def test_numpy_scalars_serialized(self):
+        df = DataFrame({"v": np.array([1.5])})
+        assert from_json(to_json(df)).column("v")[0] == 1.5

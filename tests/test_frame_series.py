@@ -1,0 +1,171 @@
+"""Unit tests for repro.frame.series."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Index, Series
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = Series([1.0, 2.0], name="t")
+        assert len(s) == 2
+        assert s.name == "t"
+
+    def test_index_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Series([1, 2], index=Index([1]))
+
+    def test_from_series(self):
+        s = Series(Series([1, 2], name="a"))
+        assert s.name == "a"
+
+    def test_mixed_none_becomes_nan(self):
+        s = Series([1.0, None, 3.0])
+        assert np.isnan(s.values[1])
+
+
+class TestArithmetic:
+    def test_add_scalar(self):
+        assert list((Series([1.0, 2.0]) + 1) .values) == [2.0, 3.0]
+
+    def test_div_series(self):
+        out = Series([4.0, 9.0]) / Series([2.0, 3.0])
+        assert list(out.values) == [2.0, 3.0]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Series([1]) + Series([1, 2])
+
+    def test_radd_rsub(self):
+        assert list((10 - Series([1.0, 2.0])).values) == [9.0, 8.0]
+        assert list((1 + Series([1.0])).values) == [2.0]
+
+    def test_neg(self):
+        assert list((-Series([1.0, -2.0])).values) == [-1.0, 2.0]
+
+
+class TestComparison:
+    def test_eq_produces_boolean_series(self):
+        mask = Series(["a", "b", "a"]) == "a"
+        assert mask.values.dtype == bool
+        assert list(mask.values) == [True, False, True]
+
+    def test_numeric_comparisons(self):
+        s = Series([1.0, 2.0, 3.0])
+        assert list((s > 1.5).values) == [False, True, True]
+        assert list((s <= 2.0).values) == [True, True, False]
+
+    def test_boolean_combination(self):
+        s = Series([1.0, 2.0, 3.0])
+        mask = (s > 1.0) & (s < 3.0)
+        assert list(mask.values) == [False, True, False]
+        mask = (s < 2.0) | (s > 2.0)
+        assert list(mask.values) == [True, False, True]
+        assert list((~(s > 1.0)).values) == [True, False, False]
+
+
+class TestAccess:
+    def test_label_access(self):
+        s = Series([1.0, 2.0], index=Index(["a", "b"]))
+        assert s["b"] == 2.0
+
+    def test_boolean_mask_filters_index(self):
+        s = Series([1.0, 2.0, 3.0], index=Index(["a", "b", "c"]))
+        out = s[s > 1.0]
+        assert list(out.index) == ["b", "c"]
+
+    def test_iloc_loc(self):
+        s = Series([5.0, 6.0], index=Index(["x", "y"]))
+        assert s.iloc(1) == 6.0
+        assert s.loc("x") == 5.0
+
+
+class TestTransforms:
+    def test_apply(self):
+        s = Series(["foo.block_128", "bar"])
+        out = s.apply(lambda x: x.endswith("block_128"))
+        assert list(out.values) == [True, False]
+
+    def test_map_dict(self):
+        out = Series(["a", "b"]).map({"a": 1, "b": 2})
+        assert list(out.values) == [1, 2]
+
+    def test_isin(self):
+        assert list(Series([1, 2, 3]).isin([2]).values) == [False, True, False]
+
+    def test_fillna(self):
+        s = Series([1.0, np.nan]).fillna(0.0)
+        assert list(s.values) == [1.0, 0.0]
+
+    def test_isna_notna(self):
+        s = Series([1.0, np.nan])
+        assert list(s.isna().values) == [False, True]
+        assert list(s.notna().values) == [True, False]
+
+    def test_unique_preserves_order(self):
+        assert Series([3, 1, 3, 2]).unique() == [3, 1, 2]
+        assert Series([3, 1, 3]).nunique() == 2
+
+    def test_sort_values(self):
+        s = Series([3.0, 1.0, 2.0], index=Index(["c", "a", "b"]))
+        out = s.sort_values()
+        assert list(out.values) == [1.0, 2.0, 3.0]
+        assert list(out.index) == ["a", "b", "c"]
+
+    def test_astype(self):
+        assert Series([1, 2]).astype(float).values.dtype.kind == "f"
+
+
+class TestReductions:
+    def test_mean_skips_nan(self):
+        assert Series([1.0, np.nan, 3.0]).mean() == 2.0
+
+    def test_std_var_ddof(self):
+        s = Series([1.0, 3.0])
+        assert s.std() == pytest.approx(np.sqrt(2.0))
+        assert s.var() == pytest.approx(2.0)
+        assert Series([1.0]).std() == 0.0
+
+    def test_min_max_median_sum_count(self):
+        s = Series([4.0, 1.0, 3.0, np.nan])
+        assert s.min() == 1.0
+        assert s.max() == 4.0
+        assert s.median() == 3.0
+        assert s.sum() == 8.0
+        assert s.count() == 3
+
+    def test_all_any(self):
+        assert Series([True, True]).all()
+        assert not Series([True, False]).all()
+        assert Series([False, True]).any()
+        assert not Series([False, False]).any()
+
+    def test_quantile(self):
+        assert Series([0.0, 1.0, 2.0, 3.0, 4.0]).quantile(0.5) == 2.0
+
+    def test_idxmax_idxmin(self):
+        s = Series([2.0, 9.0, 1.0], index=Index(["a", "b", "c"]))
+        assert s.idxmax() == "b"
+        assert s.idxmin() == "c"
+
+    def test_empty_mean_is_nan(self):
+        assert np.isnan(Series([], index=Index([])).mean())
+
+
+class TestConveniences:
+    def test_value_counts_sorted_by_frequency(self):
+        s = Series(["a", "b", "a", "c", "a", "b"])
+        vc = s.value_counts()
+        assert list(vc.index) == ["a", "b", "c"]
+        assert list(vc.values) == [3, 2, 1]
+
+    def test_describe(self):
+        d = Series([1.0, 2.0, 3.0, 4.0]).describe()
+        assert d["count"] == 4.0
+        assert d["mean"] == 2.5
+        assert d["50%"] == 2.5
+        assert d["max"] == 4.0
+
+    def test_describe_empty(self):
+        assert Series([], index=Index([])).describe() == {"count": 0.0}

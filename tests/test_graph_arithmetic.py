@@ -1,0 +1,75 @@
+"""Unit tests for GraphFrame arithmetic (repro.graph.arithmetic)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphFrame, divide, subtract
+
+
+def gf_of(times: dict[str, float]) -> GraphFrame:
+    children = [
+        {"frame": {"name": name}, "metrics": {"time (exc)": t}}
+        for name, t in times.items() if name != "main"
+    ]
+    return GraphFrame.from_literal([{
+        "frame": {"name": "main"},
+        "metrics": {"time (exc)": times.get("main", 0.0)},
+        "children": children,
+    }])
+
+
+class TestDivide:
+    def test_speedup_per_node(self):
+        serial = gf_of({"main": 0.1, "solve": 8.0, "io": 1.0})
+        parallel = gf_of({"main": 0.1, "solve": 1.0, "io": 1.0})
+        speedup = divide(serial, parallel)
+        solve = speedup.graph.find("solve")
+        pos = speedup.dataframe.index.get_loc(solve)
+        assert speedup.dataframe.column("time (exc)")[pos] == pytest.approx(8.0)
+
+    def test_unmatched_node_is_nan(self):
+        a = gf_of({"solve": 2.0, "extra": 1.0})
+        b = gf_of({"solve": 1.0})
+        out = divide(a, b)
+        extra = out.graph.find("extra")
+        pos = out.dataframe.index.get_loc(extra)
+        assert np.isnan(out.dataframe.column("time (exc)")[pos])
+
+    def test_no_shared_metrics_rejected(self):
+        a = gf_of({"solve": 1.0})
+        b = gf_of({"solve": 1.0})
+        b.dataframe = b.dataframe.rename({"time (exc)": "other"})
+        with pytest.raises(ValueError):
+            divide(a, b)
+
+
+class TestSubtract:
+    def test_difference(self):
+        a = gf_of({"solve": 5.0})
+        b = gf_of({"solve": 3.0})
+        out = subtract(a, b)
+        solve = out.graph.find("solve")
+        pos = out.dataframe.index.get_loc(solve)
+        assert out.dataframe.column("time (exc)")[pos] == pytest.approx(2.0)
+
+    def test_missing_counts_as_zero(self):
+        a = gf_of({"solve": 5.0, "extra": 2.0})
+        b = gf_of({"solve": 3.0})
+        out = subtract(a, b)
+        extra = out.graph.find("extra")
+        pos = out.dataframe.index.get_loc(extra)
+        assert out.dataframe.column("time (exc)")[pos] == pytest.approx(2.0)
+
+    def test_union_covers_both_trees(self):
+        a = gf_of({"x": 1.0})
+        b = gf_of({"y": 1.0})
+        out = subtract(a, b)
+        assert {n.frame.name for n in out.graph} == {"main", "x", "y"}
+
+    def test_operand_metadata_recorded(self):
+        a, b = gf_of({"x": 1.0}), gf_of({"x": 2.0})
+        a.metadata["cores"] = 1
+        b.metadata["cores"] = 36
+        out = subtract(a, b)
+        assert out.metadata["operands"][0]["cores"] == 1
+        assert out.metadata["operands"][1]["cores"] == 36

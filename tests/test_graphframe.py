@@ -1,0 +1,100 @@
+"""Unit tests for repro.graph.graphframe."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphFrame
+
+
+class TestFromLiteral:
+    def test_builds_rows_per_node(self, simple_literal):
+        gf = GraphFrame.from_literal(simple_literal)
+        assert len(gf) == 4
+        assert "name" in gf.dataframe
+        assert gf.dataframe.index.name == "node"
+
+    def test_metrics_aligned_with_nodes(self, simple_gf):
+        df = simple_gf.dataframe
+        bar = simple_gf.graph.find("BAR")
+        pos = df.index.get_loc(bar)
+        assert df.column("time (exc)")[pos] == 3.0
+
+    def test_exc_inc_classification(self, simple_gf):
+        assert "time (exc)" in simple_gf.exc_metrics
+        assert simple_gf.default_metric == "time (exc)"
+
+
+class TestDerivedMetrics:
+    def test_inclusive_sums_subtree(self, simple_gf):
+        simple_gf.calculate_inclusive_metrics()
+        df = simple_gf.dataframe
+        main = simple_gf.graph.find("MAIN")
+        pos = df.index.get_loc(main)
+        assert df.column("time (exc) (inc)")[pos] == pytest.approx(6.5)
+        assert "time (exc) (inc)" in simple_gf.inc_metrics
+
+    def test_exclusive_inverts_inclusive(self, simple_gf):
+        simple_gf.calculate_inclusive_metrics()
+        gf2 = simple_gf.copy()
+        original = {
+            n.name: v for n, v in zip(gf2.dataframe.index.values,
+                                      gf2.dataframe.column("time (exc)"))
+        }
+        gf2.dataframe = gf2.dataframe.drop(columns="time (exc)")
+        gf2.exc_metrics.remove("time (exc)")
+        gf2.calculate_exclusive_metrics()
+        for node, v in zip(gf2.dataframe.index.values,
+                           gf2.dataframe.column("time (exc)")):
+            assert v == pytest.approx(original[node.name])
+
+
+class TestCopy:
+    def test_copy_remaps_nodes(self, simple_gf):
+        clone = simple_gf.copy()
+        assert clone.graph == simple_gf.graph
+        assert set(clone.dataframe.index.values).isdisjoint(
+            set(simple_gf.dataframe.index.values))
+
+    def test_shallow_copy_shares_graph(self, simple_gf):
+        clone = simple_gf.shallow_copy()
+        assert clone.graph is simple_gf.graph
+        clone.dataframe["extra"] = 1.0
+        assert "extra" not in simple_gf.dataframe
+
+
+class TestFilter:
+    def test_filter_squash(self, simple_gf):
+        out = simple_gf.filter(lambda row: row["time (exc)"] >= 1.0)
+        assert len(out) == 3
+        names = {n.name for n in out.graph}
+        assert names == {"MAIN", "FOO", "BAR"}
+
+    def test_filter_reparents(self, simple_gf):
+        # drop FOO: BAZ should re-attach under MAIN
+        out = simple_gf.filter(lambda row: row["name"] != "FOO")
+        main = out.graph.find("MAIN")
+        assert {c.name for c in main.children} == {"BAZ", "BAR"}
+
+    def test_filter_no_squash_keeps_graph(self, simple_gf):
+        out = simple_gf.filter(lambda row: row["name"] == "BAZ", squash=False)
+        assert len(out.dataframe) == 1
+        assert len(out.graph) == 4
+
+    def test_filter_original_untouched(self, simple_gf):
+        before = len(simple_gf)
+        simple_gf.filter(lambda row: False)
+        assert len(simple_gf) == before
+
+
+class TestTree:
+    def test_tree_renders_metric(self, simple_gf):
+        text = simple_gf.tree()
+        assert "MAIN" in text
+        assert "3.000 BAR" in text
+        assert "└─" in text or "├─" in text
+
+    def test_tree_color(self, simple_gf):
+        assert "\033[" in simple_gf.tree(color=True)
+
+    def test_repr(self, simple_gf):
+        assert "GraphFrame" in repr(simple_gf)

@@ -1,0 +1,61 @@
+"""Unit tests for load-imbalance analysis (repro.core.stats.imbalance)."""
+
+import numpy as np
+import pytest
+
+from repro.core import stats
+
+
+class TestLoadImbalance:
+    def test_row_and_stats_columns_created(self, marbl_thicket):
+        created = stats.load_imbalance(marbl_thicket)
+        assert "Avg time/rank_imbalance" in marbl_thicket.dataframe
+        assert created == ["Avg time/rank_imbalance_mean",
+                           "Avg time/rank_imbalance_max"]
+
+    def test_factors_at_least_one(self, marbl_thicket):
+        stats.load_imbalance(marbl_thicket)
+        vals = marbl_thicket.dataframe.column(
+            "Avg time/rank_imbalance").astype(float)
+        finite = vals[np.isfinite(vals)]
+        assert (finite >= 0.97).all()   # max >= avg up to noise
+
+    def test_ale_remap_most_imbalanced(self, marbl_thicket):
+        """The workload model marks the ALE remap as the imbalanced
+        region; the analysis must surface exactly that."""
+        stats.load_imbalance(marbl_thicket)
+        sf = marbl_thicket.statsframe
+        means = {
+            name: v for name, v in zip(
+                sf.column("name"),
+                sf.column("Avg time/rank_imbalance_mean").astype(float))
+            if np.isfinite(v)
+        }
+        assert means["ale_remap"] > means["hydro"]
+        assert means["ale_remap"] > means["M_solver->Mult"]
+
+    def test_imbalance_grows_with_ranks(self, marbl_thicket):
+        stats.load_imbalance(marbl_thicket)
+        node = marbl_thicket.get_node("ale_remap")
+        ranks_of = {pid: row["mpi.world.size"]
+                    for pid, row in marbl_thicket.metadata.iterrows()}
+        col = marbl_thicket.dataframe.column("Avg time/rank_imbalance")
+        by_ranks = {}
+        for i, t in enumerate(marbl_thicket.dataframe.index.values):
+            if t[0] is node and np.isfinite(col[i]):
+                by_ranks.setdefault(int(ranks_of[t[1]]), []).append(col[i])
+        ranks = sorted(by_ranks)
+        means = [float(np.mean(by_ranks[r])) for r in ranks]
+        assert means[-1] > means[0]
+
+    def test_missing_columns_rejected(self, raja_thicket):
+        with pytest.raises(KeyError):
+            stats.load_imbalance(raja_thicket)
+
+    def test_min_max_bracket_avg(self, marbl_thicket):
+        avg = marbl_thicket.dataframe.column("Avg time/rank").astype(float)
+        mx = marbl_thicket.dataframe.column("Max time/rank").astype(float)
+        mn = marbl_thicket.dataframe.column("Min time/rank").astype(float)
+        ok = np.isfinite(avg)
+        assert (mx[ok] >= mn[ok]).all()
+        assert (mx[ok] >= avg[ok] * 0.97).all()

@@ -1,0 +1,158 @@
+"""End-to-end integration tests: measurement → disk → Thicket → EDA.
+
+These walk the paper's Fig. 1 workflow: run code with measurement
+tools, produce call-tree profiles, load them into a thicket object,
+then examine / manipulate / analyze / model.
+"""
+
+import numpy as np
+import pytest
+
+from repro import QueryMatcher, Thicket, concat_thickets
+from repro.caliper import (
+    AdiakCollector,
+    Instrumenter,
+    SyntheticCounterService,
+    write_cali_json,
+)
+from repro.core import stats
+from repro.learn import KMeans, StandardScaler
+from repro.model import ExtrapInterface
+from repro.viz import find_outlier_cells, heatmap_text
+from repro.workloads import (
+    QUARTZ,
+    RZTOPAZ,
+    generate_marbl_profile,
+    write_raja_campaign,
+)
+
+
+class TestMeasureToAnalyze:
+    """Instrumented 'application' measured live, analyzed via Thicket."""
+
+    def _run_app(self, tmp_path, run_id, work):
+        counters = SyntheticCounterService()
+        cali = Instrumenter(services=[counters])
+        with cali.region("main"):
+            with cali.region("compute"):
+                counters.charge(flops=work * 100, **{"L1 misses": work})
+            with cali.region("io"):
+                counters.charge(bytes_written=work * 10)
+        adiak = AdiakCollector(auto=False)
+        adiak.update({"run_id": run_id, "work": work, "cluster": "laptop"})
+        prof = cali.finish(metadata=adiak.freeze())
+        return write_cali_json(prof, tmp_path / f"run{run_id}.json")
+
+    def test_full_pipeline(self, tmp_path):
+        paths = [self._run_app(tmp_path, i, work=10 * (i + 1))
+                 for i in range(4)]
+        tk = Thicket.from_caliperreader(paths)
+        assert len(tk.profile) == 4
+        assert len(tk.graph) == 3
+
+        stats.mean(tk, ["flops"])
+        compute = tk.get_node("compute")
+        pos = tk.statsframe.index.get_loc(compute)
+        assert tk.statsframe.column("flops_mean")[pos] == pytest.approx(
+            np.mean([1000, 2000, 3000, 4000]))
+
+        small = tk.filter_metadata(lambda m: m["work"] <= 20)
+        assert len(small.profile) == 2
+
+        groups = tk.groupby("work")
+        assert len(groups) == 4
+
+
+class TestCampaignOnDisk:
+    def test_raja_campaign_files_load(self, tmp_path):
+        paths = write_raja_campaign(
+            tmp_path, scale=0.1, kernels=["Stream_DOT", "Apps_VOL3D"])
+        tk = Thicket.from_caliperreader(paths)
+        assert len(tk.profile) == len(paths)
+        # metadata covers the campaign dimensions
+        assert set(tk.metadata.column("variant")) == {
+            "Sequential", "OpenMP", "CUDA"}
+        sizes = set(tk.metadata.column("problem_size"))
+        assert len(sizes) == 4
+
+    def test_groupby_then_stats_then_outliers(self, tmp_path):
+        paths = write_raja_campaign(
+            tmp_path, scale=0.2,
+            kernels=["Stream_DOT", "Apps_VOL3D", "Lcals_HYDRO_1D"])
+        tk = Thicket.from_caliperreader(paths)
+        seq = tk.filter_metadata(lambda m: m["variant"] == "Sequential")
+        for key, sub in seq.groupby(["compiler", "problem_size"]).items():
+            created = stats.std(sub, ["time (exc)"])
+            assert created == ["time (exc)_std"]
+        stats.std(seq, ["time (exc)"])
+        cells = find_outlier_cells(seq.statsframe, ["time (exc)_std"],
+                                   threshold=0.5)
+        assert isinstance(heatmap_text(seq.statsframe, ["time (exc)_std"]),
+                          str)
+        assert cells  # some node dominates the variance
+
+
+class TestClusterAndModelFlows:
+    def test_query_cluster_flow(self, tmp_path):
+        """The Fig. 10 pipeline: query Stream kernels, scale, cluster."""
+        paths = []
+        for opt in (0, 1, 2, 3):
+            from repro.workloads import generate_rajaperf_profile
+
+            prof = generate_rajaperf_profile(
+                QUARTZ, 8388608, opt_level=opt, topdown=True, seed=opt,
+            )
+            paths.append(write_cali_json(prof, tmp_path / f"o{opt}.json"))
+        tk = Thicket.from_caliperreader(paths)
+        q = QueryMatcher().match(
+            "*").rel(".", lambda row: row["name"].apply(
+                lambda x: x.startswith("Stream_")).all())
+        streams = tk.query(q)
+        leaf_names = {n.name for n in streams.graph if not n.children}
+        assert all(n.startswith("Stream_") for n in leaf_names)
+
+        rows = [
+            (t[0].name, t[1], v, r) for t, v, r in zip(
+                streams.dataframe.index.values,
+                streams.dataframe.column("time (exc)"),
+                streams.dataframe.column("Retiring"))
+            if t[0].name.startswith("Stream_")
+        ]
+        X = StandardScaler().fit_transform(
+            np.array([[v, r] for _, _, v, r in rows]))
+        labels = KMeans(n_clusters=3, random_state=0).fit_predict(X)
+        assert len(set(labels)) == 3
+
+    def test_marbl_modeling_flow(self, tmp_path):
+        """The Fig. 11 pipeline: load scaling ensemble, model in bulk."""
+        paths = []
+        for i, nodes in enumerate((1, 2, 4, 8, 16, 32)):
+            prof = generate_marbl_profile(RZTOPAZ, nodes, seed=i)
+            paths.append(write_cali_json(prof, tmp_path / f"n{nodes}.json"))
+        tk = Thicket.from_caliperreader(paths)
+        models = ExtrapInterface().model_thicket(
+            tk, "mpi.world.size", "Avg time/rank")
+        solver = tk.get_node("M_solver->Mult")
+        assert models[solver].coefficient < 0
+
+    def test_horizontal_composition_flow(self, tmp_path):
+        from repro.workloads import LASSEN_GPU, generate_rajaperf_profile
+
+        cpu_paths, gpu_paths = [], []
+        for i, size in enumerate((1048576, 4194304)):
+            cpu = generate_rajaperf_profile(QUARTZ, size, topdown=True,
+                                            seed=i)
+            gpu = generate_rajaperf_profile(LASSEN_GPU, size, variant="CUDA",
+                                            seed=10 + i)
+            cpu_paths.append(write_cali_json(cpu, tmp_path / f"c{i}.json"))
+            gpu_paths.append(write_cali_json(gpu, tmp_path / f"g{i}.json"))
+        tk_cpu = Thicket.from_caliperreader(cpu_paths)
+        tk_gpu = Thicket.from_caliperreader(gpu_paths)
+        tk = concat_thickets([tk_cpu, tk_gpu], axis="columns",
+                             headers=["CPU", "GPU"],
+                             metadata_key="problem_size", match_on="name")
+        cpu_t = tk.dataframe.column(("CPU", "time (exc)")).astype(float)
+        gpu_t = tk.dataframe.column(("GPU", "time (gpu)")).astype(float)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            speedup = cpu_t / gpu_t
+        assert np.nanmax(speedup) > 1.0

@@ -1,0 +1,176 @@
+"""Unit tests for the scikit-learn substitute (repro.learn)."""
+
+import numpy as np
+import pytest
+
+from repro.learn import (
+    PCA,
+    KMeans,
+    MinMaxScaler,
+    StandardScaler,
+    best_k_by_silhouette,
+    silhouette_samples,
+    silhouette_score,
+)
+
+
+@pytest.fixture
+def blobs():
+    rng = np.random.default_rng(42)
+    return np.vstack([
+        rng.normal((0, 0), 0.15, (25, 2)),
+        rng.normal((4, 0), 0.15, (25, 2)),
+        rng.normal((0, 4), 0.15, (25, 2)),
+    ])
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self, blobs):
+        scaled = StandardScaler().fit_transform(blobs)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-12)
+
+    def test_inverse_round_trip(self, blobs):
+        sc = StandardScaler().fit(blobs)
+        np.testing.assert_allclose(
+            sc.inverse_transform(sc.transform(blobs)), blobs, atol=1e-10)
+
+    def test_constant_feature_not_divided_by_zero(self):
+        X = np.array([[1.0, 5.0], [1.0, 7.0]])
+        scaled = StandardScaler().fit_transform(X)
+        assert np.isfinite(scaled).all()
+        np.testing.assert_allclose(scaled[:, 0], 0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform([[1.0]])
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit([1.0, 2.0])
+
+
+class TestMinMaxScaler:
+    def test_range(self, blobs):
+        scaled = MinMaxScaler().fit_transform(blobs)
+        assert scaled.min() >= 0.0 and scaled.max() <= 1.0
+
+    def test_custom_range(self, blobs):
+        scaled = MinMaxScaler((-1, 1)).fit_transform(blobs)
+        assert scaled.min() == pytest.approx(-1.0)
+        assert scaled.max() == pytest.approx(1.0)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler((1, 1))
+
+    def test_inverse_round_trip(self, blobs):
+        sc = MinMaxScaler().fit(blobs)
+        np.testing.assert_allclose(
+            sc.inverse_transform(sc.transform(blobs)), blobs, atol=1e-10)
+
+
+class TestKMeans:
+    def test_recovers_three_blobs(self, blobs):
+        km = KMeans(n_clusters=3, random_state=0).fit(blobs)
+        labels = km.labels_
+        # points within one blob share a label
+        for start in (0, 25, 50):
+            assert len(set(labels[start:start + 25])) == 1
+        # blobs get distinct labels
+        assert len({labels[0], labels[25], labels[50]}) == 3
+
+    def test_inertia_decreases_with_k(self, blobs):
+        inertias = [
+            KMeans(n_clusters=k, random_state=0).fit(blobs).inertia_
+            for k in (1, 2, 3)
+        ]
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_predict_matches_fit_labels(self, blobs):
+        km = KMeans(n_clusters=3, random_state=0).fit(blobs)
+        np.testing.assert_array_equal(km.predict(blobs), km.labels_)
+
+    def test_fit_predict(self, blobs):
+        labels = KMeans(n_clusters=2, random_state=1).fit_predict(blobs)
+        assert len(labels) == len(blobs)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=5).fit(np.zeros((3, 2)))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=0)
+
+    def test_unfitted_predict(self):
+        with pytest.raises(RuntimeError):
+            KMeans().predict([[0.0]])
+
+    def test_duplicate_points_handled(self):
+        X = np.ones((10, 2))
+        km = KMeans(n_clusters=2, random_state=0).fit(X)
+        assert km.inertia_ == pytest.approx(0.0)
+
+    def test_deterministic_with_seed(self, blobs):
+        a = KMeans(n_clusters=3, random_state=7).fit(blobs)
+        b = KMeans(n_clusters=3, random_state=7).fit(blobs)
+        np.testing.assert_array_equal(a.labels_, b.labels_)
+
+
+class TestSilhouette:
+    def test_good_clustering_high_score(self, blobs):
+        labels = np.repeat([0, 1, 2], 25)
+        assert silhouette_score(blobs, labels) > 0.8
+
+    def test_bad_clustering_lower_score(self, blobs):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 3, len(blobs))
+        good = silhouette_score(blobs, np.repeat([0, 1, 2], 25))
+        assert silhouette_score(blobs, labels) < good
+
+    def test_samples_in_range(self, blobs):
+        vals = silhouette_samples(blobs, np.repeat([0, 1, 2], 25))
+        assert ((-1.0 <= vals) & (vals <= 1.0)).all()
+
+    def test_requires_two_clusters(self, blobs):
+        with pytest.raises(ValueError):
+            silhouette_score(blobs, np.zeros(len(blobs)))
+
+    def test_best_k_finds_three(self, blobs):
+        k, scores = best_k_by_silhouette(blobs, range(2, 6), random_state=0)
+        assert k == 3
+        assert scores[3] == max(scores.values())
+
+
+class TestPCA:
+    def test_explained_variance_sums_to_one(self, blobs):
+        p = PCA().fit(blobs)
+        assert p.explained_variance_ratio_.sum() == pytest.approx(1.0)
+
+    def test_components_orthonormal(self, blobs):
+        p = PCA(2).fit(blobs)
+        gram = p.components_ @ p.components_.T
+        np.testing.assert_allclose(gram, np.eye(2), atol=1e-10)
+
+    def test_transform_reduces_dims(self, blobs):
+        out = PCA(1).fit_transform(blobs)
+        assert out.shape == (len(blobs), 1)
+
+    def test_full_reconstruction(self, blobs):
+        p = PCA().fit(blobs)
+        back = p.inverse_transform(p.transform(blobs))
+        np.testing.assert_allclose(back, blobs, atol=1e-8)
+
+    def test_too_many_components(self):
+        with pytest.raises(ValueError):
+            PCA(5).fit(np.zeros((3, 2)))
+
+    def test_first_component_dominant_direction(self):
+        rng = np.random.default_rng(0)
+        t = rng.normal(0, 3, 200)
+        X = np.column_stack([t, 0.2 * t + rng.normal(0, 0.1, 200)])
+        p = PCA(1).fit(X)
+        direction = p.components_[0] / np.linalg.norm(p.components_[0])
+        expected = np.array([1.0, 0.2]) / np.linalg.norm([1.0, 0.2])
+        assert abs(abs(direction @ expected)) > 0.99

@@ -1,0 +1,89 @@
+"""Unit tests for agglomerative clustering, validated against scipy."""
+
+import numpy as np
+import pytest
+from scipy.cluster import hierarchy as sch
+
+from repro.learn import AgglomerativeClustering, cut_tree, linkage_matrix
+
+
+@pytest.fixture
+def blobs():
+    rng = np.random.default_rng(7)
+    return np.vstack([
+        rng.normal((0, 0), 0.1, (12, 2)),
+        rng.normal((5, 0), 0.1, (12, 2)),
+        rng.normal((0, 5), 0.1, (12, 2)),
+    ])
+
+
+class TestLinkageMatrix:
+    @pytest.mark.parametrize("method", ["single", "complete", "average"])
+    def test_matches_scipy(self, blobs, method):
+        ours = linkage_matrix(blobs, method=method)
+        theirs = sch.linkage(blobs, method=method)
+        # merge distances and sizes must coincide step by step
+        np.testing.assert_allclose(ours[:, 2], theirs[:, 2], rtol=1e-9)
+        np.testing.assert_allclose(ours[:, 3], theirs[:, 3])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linkage_matrix([[0.0, 0.0]], method="ward")
+        with pytest.raises(ValueError):
+            linkage_matrix(np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            linkage_matrix(np.zeros(5))
+
+    def test_monotone_distances_for_complete(self, blobs):
+        Z = linkage_matrix(blobs, method="complete")
+        d = Z[:, 2]
+        assert (np.diff(d) >= -1e-12).all()
+
+
+class TestCutTree:
+    def test_recovers_blobs(self, blobs):
+        Z = linkage_matrix(blobs, method="average")
+        labels = cut_tree(Z, 3)
+        for start in (0, 12, 24):
+            assert len(set(labels[start:start + 12])) == 1
+        assert len({labels[0], labels[12], labels[24]}) == 3
+
+    def test_matches_scipy_fcluster(self, blobs):
+        Z = linkage_matrix(blobs, method="average")
+        ours = cut_tree(Z, 3)
+        theirs = sch.fcluster(sch.linkage(blobs, method="average"),
+                              3, criterion="maxclust")
+        # same partition up to label renaming
+        mapping = {}
+        for a, b in zip(ours, theirs):
+            mapping.setdefault(a, b)
+            assert mapping[a] == b
+
+    def test_extreme_cuts(self, blobs):
+        Z = linkage_matrix(blobs)
+        assert len(set(cut_tree(Z, 1))) == 1
+        assert len(set(cut_tree(Z, len(blobs)))) == len(blobs)
+        with pytest.raises(ValueError):
+            cut_tree(Z, 0)
+        with pytest.raises(ValueError):
+            cut_tree(Z, len(blobs) + 1)
+
+
+class TestEstimator:
+    def test_fit_predict(self, blobs):
+        labels = AgglomerativeClustering(n_clusters=3).fit_predict(blobs)
+        assert len(set(labels)) == 3
+
+    def test_invalid_linkage(self):
+        with pytest.raises(ValueError):
+            AgglomerativeClustering(linkage="centroid")
+
+    def test_agrees_with_kmeans_on_clean_blobs(self, blobs):
+        from repro.learn import KMeans
+
+        agg = AgglomerativeClustering(n_clusters=3).fit_predict(blobs)
+        km = KMeans(n_clusters=3, random_state=0).fit_predict(blobs)
+        mapping = {}
+        for a, b in zip(agg, km):
+            mapping.setdefault(a, b)
+            assert mapping[a] == b

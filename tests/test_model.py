@@ -1,0 +1,150 @@
+"""Unit tests for the Extra-P substitute (repro.model)."""
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    ExtrapInterface,
+    Model,
+    Modeler,
+    Term,
+    default_hypothesis_space,
+)
+
+
+RANKS = np.array([36.0, 72, 144, 288, 576, 1152])
+
+
+class TestTerm:
+    def test_evaluate_power(self):
+        t = Term("1/3")
+        assert t.evaluate(8.0) == pytest.approx(2.0)
+
+    def test_evaluate_log(self):
+        t = Term(0, 1)
+        assert t.evaluate(8.0) == pytest.approx(3.0)
+
+    def test_mixed_term(self):
+        t = Term(1, 1)
+        assert t.evaluate(4.0) == pytest.approx(8.0)
+
+    def test_str(self):
+        assert str(Term("1/3")) == "p^(1/3)"
+        assert str(Term(0, 1)) == "log2(p)"
+        assert str(Term(0, 0)) == "1"
+        assert "log2(p)^2" in str(Term(1, 2))
+
+    def test_equality_hash(self):
+        assert Term("1/2") == Term(0.5)
+        assert len({Term(1), Term(1), Term(2)}) == 2
+
+    def test_hypothesis_space_excludes_constant(self):
+        space = default_hypothesis_space()
+        assert Term(0, 0) not in space
+        assert Term("1/3") in space
+
+
+class TestModeler:
+    def test_recovers_cube_root_model(self):
+        """The paper's Fig. 11 model form: a + b·p^(1/3)."""
+        y = 200.23 - 18.28 * RANKS ** (1 / 3)
+        m = Modeler().fit(RANKS, y, parameter="nprocs")
+        assert m.term == Term("1/3")
+        assert m.intercept == pytest.approx(200.23, rel=1e-6)
+        assert m.coefficient == pytest.approx(-18.28, rel=1e-6)
+        assert "nprocs^(1/3)" in str(m)
+
+    def test_recovers_linear_model(self):
+        y = 5.0 + 2.0 * RANKS
+        m = Modeler().fit(RANKS, y)
+        assert m.term == Term(1)
+        assert m.coefficient == pytest.approx(2.0, rel=1e-6)
+
+    def test_recovers_log_model(self):
+        y = 1.0 + 3.0 * np.log2(RANKS)
+        m = Modeler().fit(RANKS, y)
+        assert m.term == Term(0, 1)
+
+    def test_constant_data_gives_constant_model(self):
+        y = np.full_like(RANKS, 7.0)
+        m = Modeler().fit(RANKS, y)
+        assert m.is_constant()
+        assert m.evaluate(9999.0) == pytest.approx(7.0)
+
+    def test_noise_tolerance(self):
+        rng = np.random.default_rng(3)
+        y = 100.0 - 10.0 * RANKS ** (1 / 3) + rng.normal(0, 0.3, len(RANKS))
+        m = Modeler().fit(RANKS, y)
+        assert m.term == Term("1/3")
+        assert m.r_squared > 0.98
+
+    def test_extrapolation(self):
+        y = 2.0 * RANKS
+        m = Modeler().fit(RANKS, y)
+        assert m.evaluate(10_000.0) == pytest.approx(20_000.0, rel=1e-6)
+
+    def test_quality_metrics_populated(self):
+        y = 1.0 + RANKS ** 0.5
+        m = Modeler().fit(RANKS, y)
+        assert 0.0 <= m.smape <= 200.0
+        assert m.r_squared == pytest.approx(1.0, abs=1e-9)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            Modeler().fit([1.0], [1.0])
+        with pytest.raises(ValueError):
+            Modeler().fit([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError):
+            Modeler().fit([0.0, 1.0], [1.0, 2.0])
+
+    def test_two_points_still_fits(self):
+        # two measurements underdetermine the term choice, but the fit
+        # must interpolate them and extrapolate monotonically upward
+        m = Modeler().fit(np.array([2.0, 4.0]), np.array([4.0, 8.0]))
+        np.testing.assert_allclose(m.evaluate(np.array([2.0, 4.0])),
+                                   [4.0, 8.0], rtol=1e-6)
+        assert m.evaluate(8.0) > 8.0
+
+    def test_callable_interface(self):
+        m = Model(1.0, 2.0, Term(1))
+        assert m(3.0) == pytest.approx(7.0)
+        out = m(np.array([1.0, 2.0]))
+        np.testing.assert_allclose(out, [3.0, 5.0])
+
+    def test_degree_ranks_scalability(self):
+        linear = Modeler().fit(RANKS, 2.0 * RANKS)
+        root = Modeler().fit(RANKS, 2.0 * RANKS ** (1 / 3))
+        assert linear.degree() > root.degree() > 0.0
+
+
+class TestExtrapInterface:
+    def test_model_thicket_per_node(self, marbl_thicket):
+        iface = ExtrapInterface()
+        models = iface.model_thicket(
+            marbl_thicket, "mpi.world.size", "Avg time/rank")
+        solver = marbl_thicket.get_node("M_solver->Mult")
+        assert solver in models
+        m = models[solver]
+        # the paper's solver model: decreasing, p^(1/3) family
+        assert m.coefficient < 0
+        assert m.term == Term("1/3")
+
+    def test_statsframe_records_model_strings(self, marbl_thicket):
+        ExtrapInterface().model_thicket(
+            marbl_thicket, "mpi.world.size", "Avg time/rank")
+        col = marbl_thicket.statsframe.column("Avg time/rank_extrap_model")
+        assert any(v is not None for v in col)
+
+    def test_aws_faster_than_cts(self, marbl_thicket):
+        """Fig. 11's conclusion: solver is faster on AWS ParallelCluster."""
+        aws = marbl_thicket.filter_metadata(
+            lambda m: m["mpi"] == "impi")
+        cts = marbl_thicket.filter_metadata(
+            lambda m: m["mpi"] == "openmpi")
+        iface = ExtrapInterface()
+        m_aws = iface.model_thicket(aws, "mpi.world.size", "Avg time/rank")
+        m_cts = iface.model_thicket(cts, "mpi.world.size", "Avg time/rank")
+        s_aws = m_aws[aws.get_node("M_solver->Mult")]
+        s_cts = m_cts[cts.get_node("M_solver->Mult")]
+        for p in (144, 576, 1152):
+            assert s_aws.evaluate(p) < s_cts.evaluate(p)

@@ -1,0 +1,108 @@
+"""Unit tests for multi-parameter modeling (repro.model.multiparam)."""
+
+import numpy as np
+import pytest
+
+from repro.model.multiparam import (
+    MultiParameterModel,
+    MultiParameterModeler,
+    model_thicket_multiparam,
+)
+from repro.model.terms import Term
+
+
+def grid(ps, qs):
+    return np.array([[p, q] for p in ps for q in qs], dtype=float)
+
+
+PS = [2.0, 4.0, 8.0, 16.0, 32.0]
+QS = [1e5, 4e5, 1.6e6]
+
+
+class TestModeler:
+    def test_recovers_separable_product(self):
+        pts = grid(PS, QS)
+        y = 3.0 + 2.0e-6 * pts[:, 1] / pts[:, 0]  # c0 + c*q*p^-1
+        model = MultiParameterModeler().fit(pts, y, parameters=["p", "q"])
+        assert model.terms[0] == Term(-1)
+        assert model.terms[1] == Term(1)
+        assert model.intercept == pytest.approx(3.0, rel=1e-6)
+        np.testing.assert_allclose(
+            model.evaluate(64.0, 3.2e6), 3.0 + 2.0e-6 * 3.2e6 / 64.0,
+            rtol=1e-6)
+
+    def test_recovers_single_parameter_dependence(self):
+        pts = grid(PS, QS)
+        y = 10.0 + 5.0 * np.sqrt(pts[:, 0])  # only p matters
+        model = MultiParameterModeler().fit(pts, y)
+        assert model.terms[0] == Term("1/2")
+        assert model.terms[1].is_constant()
+
+    def test_constant_data(self):
+        pts = grid(PS, QS)
+        y = np.full(len(pts), 7.0)
+        model = MultiParameterModeler().fit(pts, y)
+        assert model.evaluate(100.0, 100.0) == pytest.approx(7.0)
+
+    def test_noise_tolerance(self):
+        rng = np.random.default_rng(0)
+        pts = grid(PS, QS)
+        clean = 1.0 + 0.5 * pts[:, 0] * np.log2(pts[:, 1])
+        y = clean * rng.lognormal(0.0, 0.01, len(pts))
+        model = MultiParameterModeler().fit(pts, y)
+        assert model.r_squared > 0.99
+        # prediction within a few percent at an unseen point
+        pred = model.evaluate(64.0, 6.4e6)
+        truth = 1.0 + 0.5 * 64.0 * np.log2(6.4e6)
+        assert abs(pred - truth) / truth < 0.1
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            MultiParameterModeler().fit(np.ones(5), np.ones(5))
+        with pytest.raises(ValueError):
+            MultiParameterModeler().fit(np.zeros((4, 2)), np.ones(4))
+        with pytest.raises(ValueError):
+            MultiParameterModeler().fit(np.ones((4, 2)), np.ones(4),
+                                        parameters=["only_one"])
+
+    def test_str_names_parameters(self):
+        m = MultiParameterModel(1.0, 2.0, [Term(1), Term(0, 1)],
+                                ["ranks", "size"])
+        text = str(m)
+        assert "ranks" in text and "log2(size)" in text
+
+    def test_evaluate_arity_checked(self):
+        m = MultiParameterModel(0.0, 1.0, [Term(1), Term(1)], ["a", "b"])
+        with pytest.raises(ValueError):
+            m.evaluate(1.0)
+
+
+class TestThicketIntegration:
+    def test_bulk_models_over_two_parameters(self):
+        """Model RAJA kernel time over (problem size, opt level)."""
+        from repro import Thicket
+        from repro.caliper import profile_to_cali_dict
+        from repro.readers import read_cali_dict
+        from repro.workloads import QUARTZ, generate_rajaperf_profile
+
+        gfs = []
+        seed = 0
+        for size in (1048576, 2097152, 4194304, 8388608):
+            for threads in (1, 2, 4):
+                seed += 1
+                prof = generate_rajaperf_profile(
+                    QUARTZ, size, threads=threads, variant="OpenMP",
+                    kernels=["Stream_DOT", "Apps_VOL3D"], seed=seed,
+                    noise=0.01)
+                gfs.append(read_cali_dict(profile_to_cali_dict(prof)))
+        tk = Thicket.from_caliperreader(gfs)
+        models = model_thicket_multiparam(
+            tk, ["problem_size", "omp num threads"], "time (exc)")
+        dot = tk.get_node("Stream_DOT")
+        assert dot in models
+        model = models[dot]
+        assert model.r_squared > 0.9
+        # time grows with problem size
+        t_small = model.evaluate(1048576.0, 1.0)
+        t_big = model.evaluate(8388608.0, 1.0)
+        assert t_big > 2 * t_small

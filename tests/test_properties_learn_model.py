@@ -1,0 +1,139 @@
+"""Property-based tests (hypothesis) for learn and model invariants."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.learn import (
+    KMeans,
+    MinMaxScaler,
+    StandardScaler,
+    silhouette_samples,
+)
+from repro.model import Modeler, Term
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+matrices = st.integers(5, 40).flatmap(
+    lambda n: st.integers(1, 4).flatmap(
+        lambda d: st.lists(
+            st.lists(st.floats(-1e4, 1e4, allow_nan=False, width=32),
+                     min_size=d, max_size=d),
+            min_size=n, max_size=n,
+        )
+    )
+)
+
+
+@settings(max_examples=40)
+@given(matrices)
+def test_standard_scaler_round_trip(rows):
+    X = np.asarray(rows, dtype=np.float64)
+    sc = StandardScaler().fit(X)
+    back = sc.inverse_transform(sc.transform(X))
+    np.testing.assert_allclose(back, X, atol=1e-6, rtol=1e-6)
+
+
+@settings(max_examples=40)
+@given(matrices)
+def test_standard_scaler_output_moments(rows):
+    X = np.asarray(rows, dtype=np.float64)
+    scaled = StandardScaler().fit_transform(X)
+    np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-6)
+    stds = scaled.std(axis=0)
+    for j in range(X.shape[1]):
+        if X[:, j].std() > 1e-9:
+            np.testing.assert_allclose(stds[j], 1.0, atol=1e-6)
+
+
+@settings(max_examples=40)
+@given(matrices)
+def test_minmax_scaler_bounds(rows):
+    X = np.asarray(rows, dtype=np.float64)
+    scaled = MinMaxScaler().fit_transform(X)
+    assert scaled.min() >= -1e-9
+    assert scaled.max() <= 1.0 + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(matrices, st.integers(1, 4), st.integers(0, 3))
+def test_kmeans_partition_properties(rows, k, seed):
+    X = np.asarray(rows, dtype=np.float64)
+    assume(len(np.unique(X, axis=0)) >= k)
+    km = KMeans(n_clusters=k, n_init=2, random_state=seed).fit(X)
+    # every sample labelled with a valid cluster
+    assert set(np.unique(km.labels_)) <= set(range(k))
+    assert len(km.labels_) == len(X)
+    # inertia equals the within-cluster sum of squares it claims
+    d2 = ((X - km.cluster_centers_[km.labels_]) ** 2).sum()
+    np.testing.assert_allclose(km.inertia_, d2, rtol=1e-6, atol=1e-6)
+    # assignment is nearest-center (no sample is closer to another center)
+    dist = ((X[:, None, :] - km.cluster_centers_[None]) ** 2).sum(axis=2)
+    np.testing.assert_allclose(
+        dist[np.arange(len(X)), km.labels_], dist.min(axis=1),
+        rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(matrices)
+def test_kmeans_more_clusters_never_raise_inertia(rows):
+    X = np.asarray(rows, dtype=np.float64)
+    distinct = len(np.unique(X, axis=0))
+    assume(distinct >= 3)
+    i2 = KMeans(n_clusters=2, n_init=4, random_state=0).fit(X).inertia_
+    i3 = KMeans(n_clusters=3, n_init=4, random_state=0).fit(X).inertia_
+    assert i3 <= i2 * (1.0 + 1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(matrices, st.integers(0, 5))
+def test_silhouette_in_range(rows, seed):
+    X = np.asarray(rows, dtype=np.float64)
+    assume(len(np.unique(X, axis=0)) >= 2)
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, len(X))
+    assume(len(np.unique(labels)) == 2)
+    vals = silhouette_samples(X, labels)
+    assert ((-1.0 - 1e-9 <= vals) & (vals <= 1.0 + 1e-9)).all()
+
+
+# ---------------------------------------------------------------------------
+# model recovery properties
+# ---------------------------------------------------------------------------
+
+exponents = st.sampled_from(["1/3", "1/2", "1", "2"])
+coeffs = st.floats(0.1, 50.0, allow_nan=False)
+intercepts = st.floats(-100.0, 100.0, allow_nan=False)
+
+
+@settings(max_examples=30, deadline=None)
+@given(exponents, coeffs, intercepts, st.booleans())
+def test_modeler_recovers_noiseless_power_laws(exp, c1, c0, negate):
+    p = np.array([4.0, 8.0, 16.0, 32.0, 64.0, 128.0])
+    coeff = -c1 if negate else c1
+    y = c0 + coeff * p ** float(eval(f"{exp.replace('/', '/')}"))
+    assume(np.ptp(y) > 1e-6 * max(abs(y).max(), 1.0))
+    m = Modeler().fit(p, y)
+    assert m.term == Term(exp)
+    np.testing.assert_allclose(m.intercept, c0, rtol=1e-4, atol=1e-4)
+    np.testing.assert_allclose(m.coefficient, coeff, rtol=1e-4, atol=1e-4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(intercepts)
+def test_modeler_constant_recovery(c0):
+    p = np.array([2.0, 4.0, 8.0, 16.0])
+    m = Modeler().fit(p, np.full_like(p, c0))
+    assert m.is_constant()
+    np.testing.assert_allclose(m.evaluate(1024.0), c0, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(exponents, coeffs, intercepts)
+def test_model_prediction_interpolates_measurements(exp, c1, c0):
+    p = np.array([4.0, 8.0, 16.0, 32.0, 64.0])
+    y = c0 + c1 * p ** float(eval(exp))
+    m = Modeler().fit(p, y)
+    np.testing.assert_allclose(m.evaluate(p), y, rtol=1e-6, atol=1e-6)

@@ -1,0 +1,144 @@
+"""Property-based tests for Thicket operation laws.
+
+Invariants:
+
+* filter_metadata is a *restriction*: composing filters equals
+  filtering by the conjunction; filtering by True is the identity on
+  profiles;
+* groupby partitions the ensemble: group sizes sum to the total and
+  every profile appears in exactly one group;
+* composition is profile-order independent (same rows, any order);
+* aggregated statistics are invariant under profile permutation.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Thicket
+from repro.core import stats
+from repro.graph import GraphFrame
+
+# --- ensemble generator ------------------------------------------------
+
+KERNEL_NAMES = ["alpha", "beta", "gamma", "delta"]
+
+profile_specs = st.lists(
+    st.tuples(
+        st.sampled_from(["clang", "gcc", "xlc"]),        # compiler
+        st.sampled_from([1, 2, 4]),                       # size
+        st.floats(0.1, 10.0, allow_nan=False),            # time scale
+    ),
+    min_size=1, max_size=8,
+)
+
+
+def build_thicket(specs) -> Thicket:
+    gfs = []
+    for i, (compiler, size, scale) in enumerate(specs):
+        children = [
+            {"frame": {"name": name},
+             "metrics": {"time (exc)": scale * (j + 1)}}
+            for j, name in enumerate(KERNEL_NAMES)
+        ]
+        gf = GraphFrame.from_literal([{
+            "frame": {"name": "main"},
+            "metrics": {"time (exc)": 0.01},
+            "children": children,
+        }])
+        gf.metadata.update({"compiler": compiler, "size": size, "run": i})
+        gfs.append(gf)
+    return Thicket.from_caliperreader(gfs)
+
+
+@settings(max_examples=30, deadline=None)
+@given(profile_specs)
+def test_filter_true_is_identity(specs):
+    tk = build_thicket(specs)
+    out = tk.filter_metadata(lambda m: True)
+    assert list(out.profile) == list(tk.profile)
+    assert len(out.dataframe) == len(tk.dataframe)
+
+
+@settings(max_examples=30, deadline=None)
+@given(profile_specs)
+def test_filter_composition_equals_conjunction(specs):
+    tk = build_thicket(specs)
+    two_step = tk.filter_metadata(
+        lambda m: m["compiler"] == "clang").filter_metadata(
+        lambda m: m["size"] >= 2)
+    one_step = tk.filter_metadata(
+        lambda m: m["compiler"] == "clang" and m["size"] >= 2)
+    assert set(two_step.profile) == set(one_step.profile)
+    assert len(two_step.dataframe) == len(one_step.dataframe)
+
+
+@settings(max_examples=30, deadline=None)
+@given(profile_specs)
+def test_groupby_partitions_profiles(specs):
+    tk = build_thicket(specs)
+    groups = tk.groupby(["compiler", "size"])
+    seen: list = []
+    for sub in groups.values():
+        seen.extend(sub.profile)
+    assert sorted(map(str, seen)) == sorted(map(str, tk.profile))
+    # keys really are the unique combinations
+    combos = {(c, s) for c, s, _ in specs}
+    assert set(groups.keys()) == combos
+
+
+@settings(max_examples=20, deadline=None)
+@given(profile_specs, st.randoms(use_true_random=False))
+def test_composition_order_independent(specs, rng):
+    tk_a = build_thicket(specs)
+    shuffled = list(specs)
+    rng.shuffle(shuffled)
+    tk_b = build_thicket(shuffled)
+    # profile sets differ only when run ids differ; compare by metadata
+    rows_a = {
+        (t[0].frame.name, str(tk_a.metadata.loc[t[1]]["compiler"]),
+         int(tk_a.metadata.loc[t[1]]["size"]), round(float(v), 9))
+        for t, v in zip(tk_a.dataframe.index.values,
+                        tk_a.dataframe.column("time (exc)"))
+    }
+    rows_b = {
+        (t[0].frame.name, str(tk_b.metadata.loc[t[1]]["compiler"]),
+         int(tk_b.metadata.loc[t[1]]["size"]), round(float(v), 9))
+        for t, v in zip(tk_b.dataframe.index.values,
+                        tk_b.dataframe.column("time (exc)"))
+    }
+    # rows are keyed by (node, metadata signature, value) — the same
+    # measurements must appear regardless of load order (run id aside)
+    strip = lambda rows: {(n, c, s) for n, c, s, _ in rows}  # noqa: E731
+    assert strip(rows_a) == strip(rows_b)
+
+
+@settings(max_examples=20, deadline=None)
+@given(profile_specs)
+def test_stats_invariant_under_profile_order(specs):
+    tk_a = build_thicket(specs)
+    tk_b = build_thicket(list(reversed(specs)))
+    stats.mean(tk_a, ["time (exc)"])
+    stats.mean(tk_b, ["time (exc)"])
+    means_a = {name: v for name, v in zip(
+        tk_a.statsframe.column("name"),
+        tk_a.statsframe.column("time (exc)_mean"))}
+    means_b = {name: v for name, v in zip(
+        tk_b.statsframe.column("name"),
+        tk_b.statsframe.column("time (exc)_mean"))}
+    assert set(means_a) == set(means_b)
+    for name in means_a:
+        np.testing.assert_allclose(means_a[name], means_b[name], rtol=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(profile_specs)
+def test_json_round_trip_preserves_rows(specs):
+    tk = build_thicket(specs)
+    back = Thicket.from_json(tk.to_json())
+    assert len(back.dataframe) == len(tk.dataframe)
+    a = sorted(round(float(v), 9)
+               for v in tk.dataframe.column("time (exc)"))
+    b = sorted(round(float(v), 9)
+               for v in back.dataframe.column("time (exc)"))
+    assert a == b

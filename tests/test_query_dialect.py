@@ -1,0 +1,146 @@
+"""Unit tests for the string-based query dialect."""
+
+import pytest
+
+from repro.graph import GraphFrame
+from repro.query import QueryMatcher
+from repro.query.dialect import QuerySyntaxError, parse_string_dialect
+
+TREE = [{"frame": {"name": "Base_CUDA"}, "metrics": {"t": 0.001},
+         "children": [
+    {"frame": {"name": "Algorithm"}, "metrics": {"t": 0.0}, "children": [
+        {"frame": {"name": "Algorithm_MEMCPY"}, "metrics": {"t": 0.004},
+         "children": [
+            {"frame": {"name": "Algorithm_MEMCPY.block_128"},
+             "metrics": {"t": 0.002}},
+            {"frame": {"name": "Algorithm_MEMCPY.block_256"},
+             "metrics": {"t": 0.009}},
+         ]},
+        {"frame": {"name": "Algorithm_MEMSET"}, "metrics": {"t": 0.006},
+         "children": [
+            {"frame": {"name": "Algorithm_MEMSET.block_128"},
+             "metrics": {"t": 0.001}},
+         ]},
+    ]},
+]}]
+
+
+@pytest.fixture
+def gf():
+    return GraphFrame.from_literal(TREE)
+
+
+def apply(query: str, gf) -> list[str]:
+    matcher = parse_string_dialect(query)
+
+    def row_view(node):
+        pos = gf.dataframe.index.get_loc(node)
+        return {c: gf.dataframe.column(c)[pos] for c in gf.dataframe.columns}
+
+    return [n.frame.name for n in matcher.apply(gf.graph, row_view)]
+
+
+class TestParsing:
+    def test_returns_matcher(self):
+        q = parse_string_dialect('MATCH (".")')
+        assert isinstance(q, QueryMatcher)
+        assert len(q) == 1
+
+    def test_quantifiers(self):
+        q = parse_string_dialect('MATCH (".", a)->("*")->("+")->(2)')
+        quants = [n.quantifier for n in q.query_nodes]
+        assert quants == [".", "*", "+", 2]
+
+    def test_syntax_errors(self):
+        for bad in (
+            'FIND (".")',                      # wrong keyword
+            'MATCH (".", a) WHERE',            # dangling WHERE
+            'MATCH ("?")',                     # bad quantifier
+            'MATCH (".") extra',               # trailing input
+            'MATCH (".", a) WHERE a."x" = ',   # missing literal
+            'MATCH (.',                        # bad step
+        ):
+            with pytest.raises(QuerySyntaxError):
+                parse_string_dialect(bad)
+
+
+class TestSemantics:
+    def test_fig8_query_string_form(self, gf):
+        names = apply(
+            'MATCH (".", p)->("*")->(".", q) '
+            'WHERE p."name" = "Base_CUDA" AND q."name" =~ ".*block_128"',
+            gf)
+        assert "Algorithm_MEMCPY.block_128" in names
+        assert "Algorithm_MEMSET.block_128" in names
+        assert "Algorithm_MEMCPY.block_256" not in names
+
+    def test_numeric_comparison(self, gf):
+        names = apply('MATCH (".", n) WHERE n."t" > 0.005', gf)
+        assert set(names) == {"Algorithm_MEMCPY.block_256",
+                              "Algorithm_MEMSET"}
+
+    def test_and_or_not(self, gf):
+        names = apply(
+            'MATCH (".", n) WHERE n."t" > 0.003 AND NOT n."name" =~ '
+            '"Algorithm_MEMSET"', gf)
+        assert set(names) == {"Algorithm_MEMCPY",
+                              "Algorithm_MEMCPY.block_256"}
+
+        names = apply(
+            'MATCH (".", n) WHERE n."name" = "Algorithm" OR '
+            'n."name" = "Base_CUDA"', gf)
+        assert set(names) == {"Algorithm", "Base_CUDA"}
+
+    def test_parenthesized_predicate(self, gf):
+        names = apply(
+            'MATCH (".", n) WHERE (n."t" > 0.008 OR n."t" < 0.0005) '
+            'AND n."name" =~ "Algorithm.*"', gf)
+        assert set(names) == {"Algorithm", "Algorithm_MEMCPY.block_256"}
+
+    def test_not_equal(self, gf):
+        names = apply('MATCH (".", n) WHERE n."name" != "Base_CUDA"', gf)
+        assert "Base_CUDA" not in names
+        assert len(names) == 6
+
+    def test_unbound_step_matches_anything(self, gf):
+        names = apply(
+            'MATCH (".", p)->(".") WHERE p."name" = "Algorithm"', gf)
+        assert set(names) == {"Algorithm", "Algorithm_MEMCPY",
+                              "Algorithm_MEMSET"}
+
+    def test_missing_attribute_is_false(self, gf):
+        assert apply('MATCH (".", n) WHERE n."ghost" = 1', gf) == []
+
+    def test_escaped_quote_in_literal(self):
+        q = parse_string_dialect(
+            'MATCH (".", n) WHERE n."name" = "say \\"hi\\""')
+        node = q.query_nodes[0]
+        assert node.matches({"name": 'say "hi"'})
+
+    def test_equivalent_to_fluent_api(self, gf):
+        string_names = apply(
+            'MATCH (".", p)->("*")->(".", q) '
+            'WHERE p."name" = "Base_CUDA" AND q."name" =~ ".*block_128"', gf)
+
+        def row_view(node):
+            pos = gf.dataframe.index.get_loc(node)
+            return {c: gf.dataframe.column(c)[pos]
+                    for c in gf.dataframe.columns}
+
+        fluent = (QueryMatcher()
+                  .match(".", lambda r: r["name"] == "Base_CUDA")
+                  .rel("*")
+                  .rel(".", lambda r: r["name"].endswith("block_128")))
+        fluent_names = [n.frame.name
+                        for n in fluent.apply(gf.graph, row_view)]
+        assert string_names == fluent_names
+
+
+class TestThicketIntegration:
+    def test_string_query_on_thicket(self, cuda_thicket):
+        matcher = parse_string_dialect(
+            'MATCH (".", p)->("*")->(".", q) '
+            'WHERE p."name" = "Base_CUDA" AND q."name" =~ ".*block_128"')
+        out = cuda_thicket.query(matcher)
+        leaves = {n.frame.name for n in out.graph if not n.children}
+        assert leaves and all(n.endswith("block_128") for n in leaves)

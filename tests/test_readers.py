@@ -1,0 +1,83 @@
+"""Unit tests for repro.readers (caliper JSON, literal, NCU)."""
+
+import pytest
+
+from repro.caliper import profile_to_cali_dict, write_cali_json
+from repro.readers import read_cali_dict, read_cali_json, read_literal, read_ncu_csv
+from repro.workloads import generate_ncu_report, write_ncu_csv
+
+
+class TestCaliperReader:
+    def test_round_trip_preserves_tree_and_metrics(self, tmp_path):
+        prof = {"records": [
+            {"path": ("main",), "metrics": {"time (exc)": 1.0}},
+            {"path": ("main", "solve"), "metrics": {"time (exc)": 2.0}},
+            {"path": ("main", "io"), "metrics": {"time (exc)": 0.5}},
+        ], "globals": {"cluster": "quartz", "problem_size": 1024}}
+        path = write_cali_json(prof, tmp_path / "p.json")
+        gf = read_cali_json(path)
+        assert len(gf.graph) == 3
+        assert gf.metadata["cluster"] == "quartz"
+        assert gf.metadata["problem_size"] == 1024
+        assert gf.metadata["profile.file"] == str(path)
+        solve = gf.graph.find("solve")
+        pos = gf.dataframe.index.get_loc(solve)
+        assert gf.dataframe.column("time (exc)")[pos] == 2.0
+
+    def test_missing_metrics_become_nan(self):
+        import numpy as np
+
+        prof = {"records": [
+            {"path": ("a",), "metrics": {"t": 1.0}},
+            {"path": ("a", "b"), "metrics": {"t": 2.0, "extra": 3.0}},
+        ], "globals": {}}
+        gf = read_cali_dict(profile_to_cali_dict(prof))
+        a = gf.graph.find("a")
+        pos = gf.dataframe.index.get_loc(a)
+        assert np.isnan(gf.dataframe.column("extra")[pos])
+
+    def test_default_metric_prefers_time_exc(self):
+        prof = {"records": [{"path": ("a",),
+                             "metrics": {"x": 1.0, "time (exc)": 2.0}}],
+                "globals": {}}
+        gf = read_cali_dict(profile_to_cali_dict(prof))
+        assert gf.default_metric == "time (exc)"
+
+    def test_forest_with_multiple_roots(self):
+        prof = {"records": [
+            {"path": ("r1",), "metrics": {"t": 1.0}},
+            {"path": ("r2",), "metrics": {"t": 2.0}},
+        ], "globals": {}}
+        gf = read_cali_dict(profile_to_cali_dict(prof))
+        assert len(gf.graph.roots) == 2
+
+
+class TestLiteralReader:
+    def test_metadata_attached(self, simple_literal):
+        gf = read_literal(simple_literal, metadata={"cluster": "quartz"})
+        assert gf.metadata["cluster"] == "quartz"
+        assert len(gf.graph) == 4
+
+
+class TestNCUReader:
+    def test_round_trip(self, tmp_path):
+        report = generate_ncu_report(4194304,
+                                     kernels=["Apps_VOL3D", "Stream_DOT"])
+        path = write_ncu_csv(report, tmp_path / "ncu.csv")
+        df = read_ncu_csv(path)
+        assert set(df.index.values) == {"Apps_VOL3D", "Stream_DOT"}
+        assert "gpu__dram_throughput" in df.columns
+        pos = df.index.get_loc("Apps_VOL3D")
+        assert df.column("sm__throughput")[pos] == pytest.approx(
+            report["Apps_VOL3D"]["sm__throughput"], abs=1e-4)
+
+    def test_bad_header_rejected(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError):
+            read_ncu_csv(bad)
+
+    def test_empty_file(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        assert read_ncu_csv(empty).empty

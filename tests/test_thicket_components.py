@@ -1,0 +1,108 @@
+"""Fig. 2/3 — structural assertions on the thicket components.
+
+The paper's entity-relationship model (Fig. 3): performance data keyed
+by the (call tree node, profile) pair; metadata keyed by profile with a
+one-to-many link into the performance data; aggregated statistics
+keyed by call tree node, also one-to-many.  Fig. 2's toy example: a
+four-call-site code run twice gives two rows per function.
+"""
+
+import pytest
+
+from repro import Thicket
+from repro.core import stats
+from repro.frame import MultiIndex
+from repro.graph import GraphFrame
+
+
+def make_run(scale: float, run_id: int) -> GraphFrame:
+    gf = GraphFrame.from_literal([
+        {"frame": {"name": "MAIN"},
+         "metrics": {"time (exc)": 1.0 * scale, "L1 misses": 10.0},
+         "children": [
+             {"frame": {"name": "FOO"},
+              "metrics": {"time (exc)": 2.0 * scale, "L1 misses": 25.0},
+              "children": [
+                  {"frame": {"name": "BAZ"},
+                   "metrics": {"time (exc)": 0.5 * scale, "L1 misses": 5.0}},
+              ]},
+             {"frame": {"name": "BAR"},
+              "metrics": {"time (exc)": 3.0 * scale, "L1 misses": 40.0}},
+         ]},
+    ])
+    gf.metadata.update({"run_id": run_id, "mpi_ranks": 4,
+                        "problem_size": int(1000 * scale), "user": "jane"})
+    return gf
+
+
+@pytest.fixture
+def two_run_thicket():
+    return Thicket.from_caliperreader([make_run(1.0, 0), make_run(2.0, 1)])
+
+
+class TestFig2TwoRunsExample:
+    def test_two_rows_per_call_site(self, two_run_thicket):
+        tk = two_run_thicket
+        assert len(tk.graph) == 4
+        for node in tk.graph:
+            rows = [t for t in tk.dataframe.index.values if t[0] is node]
+            assert len(rows) == 2
+
+    def test_metadata_one_row_per_profile(self, two_run_thicket):
+        assert len(two_run_thicket.metadata) == 2
+        assert set(two_run_thicket.metadata.column("run_id")) == {0, 1}
+
+    def test_aggregated_stats_one_row_per_node(self, two_run_thicket):
+        tk = two_run_thicket
+        stats.mean(tk, ["time (exc)"])
+        stats.variance(tk, ["time (exc)"])
+        assert len(tk.statsframe) == 4
+        foo = tk.get_node("FOO")
+        pos = tk.statsframe.index.get_loc(foo)
+        assert tk.statsframe.column("time (exc)_mean")[pos] == pytest.approx(
+            (2.0 + 4.0) / 2)
+
+
+class TestFig3EntityRelations:
+    def test_perfdata_primary_key(self, two_run_thicket):
+        """(call tree node, profile) uniquely identifies each row."""
+        idx = two_run_thicket.dataframe.index
+        assert isinstance(idx, MultiIndex)
+        assert idx.names == ["node", "profile"]
+        assert not idx.has_duplicates()
+
+    def test_metadata_primary_key(self, two_run_thicket):
+        idx = two_run_thicket.metadata.index
+        assert idx.name == "profile"
+        assert not idx.has_duplicates()
+
+    def test_stats_primary_key(self, two_run_thicket):
+        idx = two_run_thicket.statsframe.index
+        assert idx.name == "node"
+        assert not idx.has_duplicates()
+
+    def test_profile_foreign_key_one_to_many(self, two_run_thicket):
+        """Each metadata row links to multiple performance-data rows."""
+        tk = two_run_thicket
+        perf_profiles = [t[1] for t in tk.dataframe.index.values]
+        for pid in tk.metadata.index.values:
+            n_rows = perf_profiles.count(pid)
+            assert n_rows == len(tk.graph)  # one per call-tree node here
+        # referential integrity: every perf row's profile exists in metadata
+        assert set(perf_profiles) == set(tk.metadata.index.values)
+
+    def test_node_foreign_key_one_to_many(self, two_run_thicket):
+        """Each stats row aggregates all profiles of one node."""
+        tk = two_run_thicket
+        stats.mean(tk, ["L1 misses"])
+        perf_nodes = [t[0] for t in tk.dataframe.index.values]
+        for node in tk.statsframe.index.values:
+            assert perf_nodes.count(node) == len(tk.profile)
+        assert set(perf_nodes) == set(tk.statsframe.index.values)
+
+    def test_values_populated_dynamically(self, two_run_thicket):
+        """The stats table starts as a skeleton and grows per analysis."""
+        tk = two_run_thicket
+        assert tk.statsframe.columns == ["name"]
+        created = stats.std(tk, ["L1 misses"])
+        assert tk.statsframe.columns == ["name"] + created

@@ -1,0 +1,129 @@
+"""Unit tests for thicket JSON persistence (repro.core.io)."""
+
+import numpy as np
+import pytest
+
+from repro import Thicket
+from repro.core import stats
+
+
+class TestRoundTrip:
+    def test_basic_round_trip(self, raja_thicket):
+        back = Thicket.from_json(raja_thicket.to_json())
+        assert len(back.profile) == len(raja_thicket.profile)
+        assert len(back.graph) == len(raja_thicket.graph)
+        assert back.dataframe.columns == raja_thicket.dataframe.columns
+        assert back.metadata.columns == raja_thicket.metadata.columns
+
+    def test_graph_structure_preserved(self, raja_thicket):
+        back = Thicket.from_json(raja_thicket.to_json())
+        assert back.graph == raja_thicket.graph  # isomorphic
+
+    def test_perfdata_values_preserved(self, raja_thicket):
+        back = Thicket.from_json(raja_thicket.to_json())
+        orig = {
+            (t[0].frame.name, t[1]): v
+            for t, v in zip(raja_thicket.dataframe.index.values,
+                            raja_thicket.dataframe.column("time (exc)"))
+        }
+        for t, v in zip(back.dataframe.index.values,
+                        back.dataframe.column("time (exc)")):
+            key = (t[0].frame.name, t[1])
+            np.testing.assert_allclose(float(v), float(orig[key]))
+
+    def test_index_labels_are_live_nodes(self, raja_thicket):
+        """Re-loaded node labels belong to the re-loaded graph."""
+        back = Thicket.from_json(raja_thicket.to_json())
+        graph_nodes = set(back.graph.traverse())
+        assert all(t[0] in graph_nodes
+                   for t in back.dataframe.index.values)
+        assert all(n in graph_nodes for n in back.statsframe.index.values)
+
+    def test_statsframe_round_trip(self, raja_thicket):
+        stats.mean(raja_thicket, ["time (exc)"])
+        back = Thicket.from_json(raja_thicket.to_json())
+        assert "time (exc)_mean" in back.statsframe
+        orig = {n.frame.name: v for n, v in zip(
+            raja_thicket.statsframe.index.values,
+            raja_thicket.statsframe.column("time (exc)_mean"))}
+        for n, v in zip(back.statsframe.index.values,
+                        back.statsframe.column("time (exc)_mean")):
+            np.testing.assert_allclose(float(v), float(orig[n.frame.name]))
+
+    def test_metadata_round_trip(self, raja_thicket):
+        back = Thicket.from_json(raja_thicket.to_json())
+        assert set(back.metadata.column("compiler")) == set(
+            raja_thicket.metadata.column("compiler"))
+        assert list(back.metadata.index.values) == list(
+            raja_thicket.metadata.index.values)
+
+    def test_nan_round_trips_as_nan(self):
+        from repro.graph import GraphFrame
+
+        a = GraphFrame.from_literal([{"frame": {"name": "m"},
+                                      "metrics": {"x": 1.0},
+                                      "children": [{"frame": {"name": "c"},
+                                                    "metrics": {"x": 2.0,
+                                                                "y": 3.0}}]}])
+        a.metadata["id"] = 1
+        b = GraphFrame.from_literal([{"frame": {"name": "m"},
+                                      "metrics": {"x": 5.0}}])
+        b.metadata["id"] = 2
+        tk = Thicket.from_caliperreader([a, b])
+        back = Thicket.from_json(tk.to_json())
+        y = back.dataframe.column("y").astype(float)
+        assert np.isnan(y).sum() == 2  # the rows that never measured y
+
+    def test_save_and_load_file(self, raja_thicket, tmp_path):
+        path = raja_thicket.save(tmp_path / "nested" / "tk.json")
+        back = Thicket.load(path)
+        assert len(back) == len(raja_thicket)
+
+    def test_composed_thicket_round_trip(self, raja_thicket):
+        """Tuple column keys survive serialization."""
+        from repro import concat_thickets
+
+        other = raja_thicket.copy()
+        other.metadata["copy"] = ["b"] * len(other.metadata)
+        # give the copy distinct profile ids
+        other.profile = [p + 1 for p in other.profile]
+        from repro.frame import Index, MultiIndex
+
+        other.metadata.index = Index(other.profile, name="profile")
+        other.dataframe.index = MultiIndex(
+            [(t[0], t[1] + 1) for t in other.dataframe.index.values],
+            names=["node", "profile"])
+        tk = concat_thickets([raja_thicket, other], axis="columns",
+                             headers=["A", "B"], match_on="name")
+        back = Thicket.from_json(tk.to_json())
+        assert ("A", "time (exc)") in back.dataframe
+        assert ("B", "time (exc)") in back.dataframe
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError):
+            Thicket.from_json('{"format": "something-else"}')
+
+
+class TestDisplayConveniences:
+    def test_display_heatmap_default_columns(self, raja_thicket_10rep,
+                                             tmp_path):
+        tk = raja_thicket_10rep
+        stats.std(tk, ["time (exc)"])
+        text = tk.display_heatmap(svg_path=tmp_path / "hm.svg")
+        assert "time (exc)_std" in text
+        assert (tmp_path / "hm.svg").exists()
+
+    def test_display_heatmap_requires_stats(self, raja_thicket):
+        with pytest.raises(ValueError):
+            raja_thicket.display_heatmap()
+
+    def test_display_histogram(self, raja_thicket_10rep, tmp_path):
+        text = raja_thicket_10rep.display_histogram(
+            "Apps_VOL3D", "time (exc)", bins=4,
+            svg_path=tmp_path / "h.svg")
+        assert "Apps_VOL3D" in text
+        assert (tmp_path / "h.svg").exists()
+
+    def test_display_histogram_unknown_node(self, raja_thicket):
+        with pytest.raises(ValueError):
+            raja_thicket.display_histogram("ghost", "time (exc)")

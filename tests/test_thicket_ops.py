@@ -1,0 +1,224 @@
+"""Unit tests for Thicket EDA operations: filter, groupby, query, stats."""
+
+import numpy as np
+import pytest
+
+from repro import QueryMatcher
+from repro.core import stats
+from repro.core.groupby import GroupByResult
+
+
+class TestFilterMetadata:
+    """§4.1.1 / Fig. 6."""
+
+    def test_filters_profiles(self, raja_thicket):
+        out = raja_thicket.filter_metadata(
+            lambda x: x["compiler"] == "clang++-9.0.0")
+        assert len(out.profile) == 2
+        assert all(c == "clang++-9.0.0" for c in out.metadata.column("compiler"))
+
+    def test_performance_rows_follow(self, raja_thicket):
+        out = raja_thicket.filter_metadata(
+            lambda x: x["compiler"] == "clang++-9.0.0")
+        kept = set(out.profile)
+        assert all(t[1] in kept for t in out.dataframe.index.values)
+
+    def test_original_untouched(self, raja_thicket):
+        n = len(raja_thicket.profile)
+        raja_thicket.filter_metadata(lambda x: False)
+        assert len(raja_thicket.profile) == n
+
+    def test_empty_result_allowed(self, raja_thicket):
+        out = raja_thicket.filter_metadata(lambda x: False)
+        assert len(out.profile) == 0
+        assert len(out.dataframe) == 0
+
+    def test_filter_profile_unknown_rejected(self, raja_thicket):
+        with pytest.raises(KeyError):
+            raja_thicket.filter_profile([123456789])
+
+
+class TestGroupBy:
+    """§4.1.2 / Fig. 7."""
+
+    def test_two_columns_four_groups(self, raja_thicket):
+        gb = raja_thicket.groupby(["compiler", "problem_size"])
+        assert isinstance(gb, GroupByResult)
+        assert len(gb) == 4
+        keys = list(gb.keys())
+        assert ("clang++-9.0.0", 1048576) in keys
+
+    def test_groups_are_single_profile_thickets(self, raja_thicket):
+        gb = raja_thicket.groupby(["compiler", "problem_size"])
+        for key, sub in gb.items():
+            assert len(sub.profile) == 1
+
+    def test_single_column_scalar_keys(self, raja_thicket):
+        gb = raja_thicket.groupby("compiler")
+        assert set(gb.keys()) == {"clang++-9.0.0", "xlc-16.1.1.12"}
+        assert all(len(sub.profile) == 2 for sub in gb.values())
+
+    def test_unknown_column(self, raja_thicket):
+        with pytest.raises(KeyError):
+            raja_thicket.groupby("ghost")
+
+    def test_keys_sorted(self, raja_thicket):
+        gb = raja_thicket.groupby(["compiler", "problem_size"])
+        keys = list(gb.keys())
+        assert keys == sorted(keys)
+
+    def test_repr_matches_paper_style(self, raja_thicket):
+        text = repr(raja_thicket.groupby(["compiler", "problem_size"]))
+        assert "4 thickets created..." in text
+
+
+class TestQuery:
+    """§4.1.3 / Fig. 8."""
+
+    def test_block_128_query(self, cuda_thicket):
+        q = (QueryMatcher()
+             .match(".", lambda row: row["name"].apply(
+                 lambda x: x == "Base_CUDA").all())
+             .rel("*")
+             .rel(".", lambda row: row["name"].apply(
+                 lambda x: x.endswith("block_128")).all()))
+        out = cuda_thicket.query(q)
+        leaf_names = {n.name for n in out.graph if not n.children}
+        assert leaf_names
+        assert all(n.endswith("block_128") for n in leaf_names)
+
+    def test_query_prunes_dataframe(self, cuda_thicket):
+        q = QueryMatcher().match(
+            ".", lambda row: row["name"].apply(
+                lambda x: x == "Algorithm").all())
+        out = cuda_thicket.query(q)
+        assert {t[0].name for t in out.dataframe.index.values} == {"Algorithm"}
+
+    def test_query_preserves_original(self, cuda_thicket):
+        n_nodes = len(cuda_thicket.graph)
+        q = QueryMatcher().match(".", lambda row: False)
+        cuda_thicket.query(q)
+        assert len(cuda_thicket.graph) == n_nodes
+
+    def test_query_no_squash(self, cuda_thicket):
+        q = QueryMatcher().match(
+            ".", lambda row: row["name"].apply(
+                lambda x: x == "Algorithm").all())
+        out = cuda_thicket.query(q, squash=False)
+        assert len(out.graph) == len(cuda_thicket.graph)
+        assert len(out.dataframe) < len(cuda_thicket.dataframe)
+
+
+class TestStats:
+    """§4.2.1 / Fig. 9."""
+
+    def test_mean_and_std_columns(self, raja_thicket_10rep):
+        tk = raja_thicket_10rep
+        stats.mean(tk, ["time (exc)"])
+        stats.std(tk, ["time (exc)"])
+        assert "time (exc)_mean" in tk.statsframe
+        assert "time (exc)_std" in tk.statsframe
+
+    def test_mean_matches_manual(self, raja_thicket_10rep):
+        tk = raja_thicket_10rep
+        stats.mean(tk, ["time (exc)"])
+        node = tk.get_node("Apps_VOL3D")
+        rows = [i for i, t in enumerate(tk.dataframe.index.values)
+                if t[0] is node]
+        manual = float(np.mean(tk.dataframe.column("time (exc)")[rows]))
+        pos = tk.statsframe.index.get_loc(node)
+        assert tk.statsframe.column("time (exc)_mean")[pos] == pytest.approx(
+            manual)
+
+    def test_variance_is_std_squared(self, raja_thicket_10rep):
+        tk = raja_thicket_10rep
+        stats.std(tk, ["time (exc)"])
+        stats.variance(tk, ["time (exc)"])
+        stds = tk.statsframe.column("time (exc)_std").astype(float)
+        vars_ = tk.statsframe.column("time (exc)_var").astype(float)
+        np.testing.assert_allclose(stds ** 2, vars_, rtol=1e-8)
+
+    def test_min_max_bound_mean(self, raja_thicket_10rep):
+        tk = raja_thicket_10rep
+        stats.mean(tk, ["time (exc)"])
+        stats.minimum(tk, ["time (exc)"])
+        stats.maximum(tk, ["time (exc)"])
+        lo = tk.statsframe.column("time (exc)_min").astype(float)
+        hi = tk.statsframe.column("time (exc)_max").astype(float)
+        mid = tk.statsframe.column("time (exc)_mean").astype(float)
+        assert (lo <= mid + 1e-12).all() and (mid <= hi + 1e-12).all()
+
+    def test_percentiles_ordered(self, raja_thicket_10rep):
+        tk = raja_thicket_10rep
+        stats.percentiles(tk, ["time (exc)"])
+        p25 = tk.statsframe.column("time (exc)_percentiles_25").astype(float)
+        p50 = tk.statsframe.column("time (exc)_percentiles_50").astype(float)
+        p75 = tk.statsframe.column("time (exc)_percentiles_75").astype(float)
+        assert (p25 <= p50).all() and (p50 <= p75).all()
+
+    def test_percentile_range_validated(self, raja_thicket_10rep):
+        with pytest.raises(ValueError):
+            stats.percentiles(raja_thicket_10rep, ["time (exc)"],
+                              quantiles=[1.5])
+
+    def test_median_between_min_max(self, raja_thicket_10rep):
+        tk = raja_thicket_10rep
+        stats.median(tk, ["time (exc)"])
+        stats.minimum(tk, ["time (exc)"])
+        med = tk.statsframe.column("time (exc)_median").astype(float)
+        lo = tk.statsframe.column("time (exc)_min").astype(float)
+        assert (lo <= med + 1e-12).all()
+
+    def test_default_columns_all_numeric(self, raja_thicket_10rep):
+        created = stats.mean(raja_thicket_10rep)
+        assert "time (exc)_mean" in created
+        assert "Retiring_mean" in created
+
+    def test_unknown_column_rejected(self, raja_thicket_10rep):
+        with pytest.raises(KeyError):
+            stats.mean(raja_thicket_10rep, ["ghost"])
+
+    def test_correlation_nodewise(self, raja_thicket_10rep):
+        tk = raja_thicket_10rep
+        key = stats.correlation_nodewise(tk, "time (exc)", "Backend bound")
+        vals = tk.statsframe.column(key).astype(float)
+        finite = vals[~np.isnan(vals)]
+        assert ((-1.0 - 1e-9 <= finite) & (finite <= 1.0 + 1e-9)).all()
+
+    def test_correlation_spearman_and_bad_method(self, raja_thicket_10rep):
+        stats.correlation_nodewise(raja_thicket_10rep, "time (exc)",
+                                   "Retiring", correlation="spearman")
+        with pytest.raises(ValueError):
+            stats.correlation_nodewise(raja_thicket_10rep, "time (exc)",
+                                       "Retiring", correlation="kendall")
+
+    def test_zscore_adds_perfdata_column(self, raja_thicket_10rep):
+        tk = raja_thicket_10rep
+        stats.zscore(tk, ["time (exc)"])
+        z = tk.dataframe.column("time (exc)_zscore").astype(float)
+        assert abs(float(np.nanmean(z))) < 1e-8
+        assert float(np.nanstd(z)) == pytest.approx(1.0, abs=1e-6)
+
+    def test_check_normality_returns_flags(self, raja_thicket_10rep):
+        tk = raja_thicket_10rep
+        stats.check_normality(tk, ["time (exc)"])
+        flags = tk.statsframe.column("time (exc)_normality")
+        assert all(f in (True, False, None) for f in flags)
+
+    def test_boxplot_stats_consistent(self, raja_thicket_10rep):
+        tk = raja_thicket_10rep
+        stats.boxplot_stats(tk, ["time (exc)"])
+        q1 = tk.statsframe.column("time (exc)_q1").astype(float)
+        q3 = tk.statsframe.column("time (exc)_q3").astype(float)
+        iqr = tk.statsframe.column("time (exc)_iqr").astype(float)
+        np.testing.assert_allclose(q3 - q1, iqr, rtol=1e-9)
+
+    def test_filter_stats_fig9(self, raja_thicket_10rep):
+        tk = raja_thicket_10rep
+        stats.std(tk, ["time (exc)"])
+        wanted = {"Apps_NODAL_ACCUMULATION_3D", "Apps_VOL3D"}
+        out = tk.filter_stats(lambda row: row["name"] in wanted)
+        assert set(out.statsframe.column("name")) == wanted
+        assert {t[0].name for t in out.dataframe.index.values} == wanted
+        # original untouched
+        assert len(tk.statsframe) > 2

@@ -1,0 +1,139 @@
+"""Unit tests for repro.topdown (counters + Yasin metric derivation)."""
+
+import pytest
+
+from repro.topdown import (
+    TOPDOWN_METRICS,
+    KernelCharacter,
+    derive_topdown,
+    slot_distribution,
+    validate_topdown,
+)
+
+
+class TestDerive:
+    def test_fractions_sum_to_one(self):
+        td = derive_topdown({
+            "slots_retiring": 30, "slots_frontend_bound": 10,
+            "slots_backend_bound": 55, "slots_bad_speculation": 5,
+        })
+        assert sum(td.values()) == pytest.approx(1.0)
+        assert td["Retiring"] == pytest.approx(0.3)
+
+    def test_zero_counters(self):
+        td = derive_topdown({})
+        assert all(v == 0.0 for v in td.values())
+        assert validate_topdown(td)
+
+    def test_validate_rejects_bad_sum(self):
+        assert not validate_topdown({
+            "Retiring": 0.9, "Frontend bound": 0.9,
+            "Backend bound": 0.0, "Bad speculation": 0.0,
+        })
+
+    def test_validate_rejects_out_of_range(self):
+        assert not validate_topdown({
+            "Retiring": 1.4, "Frontend bound": -0.4,
+            "Backend bound": 0.0, "Bad speculation": 0.0,
+        })
+
+
+class TestSlotModel:
+    def test_distribution_is_valid(self):
+        for ai in (0.05, 0.5, 2.0, 10.0):
+            d = slot_distribution(KernelCharacter(ai), 4194304)
+            assert sum(d.values()) == pytest.approx(1.0)
+            assert all(v >= 0 for v in d.values())
+
+    def test_streaming_kernel_backend_bound(self):
+        """Paper §5.1.1: HYDRO_1D/DOT are ~90% backend bound."""
+        d = slot_distribution(
+            KernelCharacter(arithmetic_intensity=0.1, footprint_bytes=24.0),
+            8388608)
+        td = derive_topdown(d)
+        assert td["Backend bound"] > 0.8
+        assert td["Retiring"] < 0.15
+
+    def test_compute_kernel_retires_more(self):
+        """Paper: VOL3D more compute-bound → higher retiring."""
+        stream = derive_topdown(slot_distribution(
+            KernelCharacter(0.2, footprint_bytes=24.0), 8388608))
+        compute = derive_topdown(slot_distribution(
+            KernelCharacter(2.2, footprint_bytes=34.0), 8388608))
+        assert compute["Retiring"] > 2 * stream["Retiring"]
+        assert compute["Backend bound"] < stream["Backend bound"]
+
+    def test_backend_bound_grows_with_problem_size(self):
+        """Fig. 14: kernels become more backend bound as size scales."""
+        char = KernelCharacter(0.3, footprint_bytes=24.0)
+        fracs = [
+            derive_topdown(slot_distribution(char, n))["Backend bound"]
+            for n in (1048576, 2097152, 4194304, 8388608)
+        ]
+        assert fracs == sorted(fracs)
+
+    def test_o0_inflates_retiring(self):
+        char = KernelCharacter(0.3, footprint_bytes=24.0)
+        o0 = derive_topdown(slot_distribution(char, 4194304,
+                                              optimization_level=0))
+        o2 = derive_topdown(slot_distribution(char, 4194304,
+                                              optimization_level=2))
+        assert o0["Retiring"] > o2["Retiring"]
+
+    def test_frontend_and_badspec_stay_small(self):
+        """Paper omits frontend/bad-speculation: < 10% for these kernels."""
+        for ai in (0.1, 1.0, 3.0):
+            td = derive_topdown(slot_distribution(
+                KernelCharacter(ai, branchiness=0.03), 4194304))
+            assert td["Frontend bound"] < 0.10
+            assert td["Bad speculation"] < 0.10
+
+    def test_metric_names(self):
+        assert TOPDOWN_METRICS == (
+            "Retiring", "Frontend bound", "Backend bound", "Bad speculation")
+
+
+class TestLevel2:
+    def test_subcategories_partition_parents(self):
+        from repro.topdown import (
+            TOPDOWN_LEVEL2_METRICS,
+            derive_topdown,
+            derive_topdown_level2,
+            slot_distribution_level2,
+        )
+
+        char = KernelCharacter(0.5, branchiness=0.04, footprint_bytes=24.0)
+        counters = slot_distribution_level2(char, 4194304)
+        level1 = derive_topdown(counters)
+        level2 = derive_topdown_level2(counters)
+        for parent, subs in TOPDOWN_LEVEL2_METRICS.items():
+            assert sum(level2[s] for s in subs) == pytest.approx(
+                level1[parent], abs=1e-9)
+
+    def test_memory_bound_grows_with_working_set(self):
+        from repro.topdown import derive_topdown_level2, slot_distribution_level2
+
+        char = KernelCharacter(0.2, footprint_bytes=24.0)
+        small = derive_topdown_level2(slot_distribution_level2(char, 262144))
+        big = derive_topdown_level2(slot_distribution_level2(char, 8388608))
+        # larger working sets shift backend stalls toward memory
+        small_ratio = small["Memory bound"] / max(small["Core bound"], 1e-12)
+        big_ratio = big["Memory bound"] / max(big["Core bound"], 1e-12)
+        assert big_ratio > small_ratio
+
+    def test_even_split_fallback_without_level2_counters(self):
+        from repro.topdown import derive_topdown_level2
+
+        level2 = derive_topdown_level2({
+            "slots_retiring": 40, "slots_backend_bound": 60,
+        })
+        assert level2["Memory bound"] == pytest.approx(0.3)
+        assert level2["Core bound"] == pytest.approx(0.3)
+        assert level2["Base"] == pytest.approx(0.2)
+
+    def test_mispredicts_dominate_clears(self):
+        from repro.topdown import derive_topdown_level2, slot_distribution_level2
+
+        char = KernelCharacter(0.3, branchiness=0.06)
+        level2 = derive_topdown_level2(slot_distribution_level2(char, 1048576))
+        assert level2["Branch mispredicts"] > level2["Machine clears"]

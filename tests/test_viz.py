@@ -1,0 +1,279 @@
+"""Unit tests for repro.viz renderers (SVG + ANSI)."""
+
+import numpy as np
+import pytest
+
+from repro.core import stats
+from repro.frame import DataFrame, Index
+from repro.viz import (
+    SVGCanvas,
+    axis_ticks,
+    crossing_fraction,
+    find_outlier_cells,
+    heatmap_svg,
+    heatmap_text,
+    histogram_counts,
+    histogram_svg,
+    histogram_text,
+    line_plot_svg,
+    node_metric_values,
+    parallel_coordinates_svg,
+    scaling_plot_svg,
+    scatter_svg,
+    sequential,
+    topdown_svg,
+    topdown_table,
+    topdown_text,
+)
+
+
+class TestSVGCanvas:
+    def test_valid_document(self, tmp_path):
+        svg = SVGCanvas(200, 100)
+        svg.rect(0, 0, 10, 10, title="cell <1>")
+        svg.circle(5, 5, 2)
+        svg.line(0, 0, 10, 10)
+        svg.polyline([(0, 0), (5, 5)], dash="2,2")
+        svg.text(1, 1, "a & b", rotate=-90)
+        text = svg.to_string()
+        assert text.startswith("<svg")
+        assert text.endswith("</svg>")
+        assert "&amp;" in text and "&lt;1&gt;" in text
+        path = svg.save(tmp_path / "out" / "fig.svg")
+        assert path.exists()
+
+    def test_colors(self):
+        assert sequential(0.0).startswith("#")
+        assert sequential(0.0) != sequential(1.0)
+        assert sequential(-5) == sequential(0.0)  # clamped
+
+
+class TestAxisTicks:
+    def test_ticks_cover_range(self):
+        ticks = axis_ticks(0.0, 10.0)
+        assert ticks[0] <= 0.0 + 2.6 and ticks[-1] >= 7.4
+        assert all(b > a for a, b in zip(ticks, ticks[1:]))
+
+    def test_degenerate_range(self):
+        assert len(axis_ticks(5.0, 5.0)) >= 1
+
+
+class TestHeatmap:
+    @pytest.fixture
+    def stats_df(self):
+        return DataFrame({
+            "name": ["A", "B", "C"],
+            "m1_std": [0.1, 0.9, 0.2],
+            "m2_std": [0.5, 0.1, 0.8],
+        }, index=Index(["A", "B", "C"], name="node"))
+
+    def test_text_render(self, stats_df):
+        text = heatmap_text(stats_df, ["m1_std", "m2_std"])
+        assert "m1_std" in text and "B" in text
+
+    def test_svg_render(self, stats_df):
+        svg = heatmap_svg(stats_df, ["m1_std", "m2_std"], title="Fig 12")
+        assert "Fig 12" in svg.to_string()
+
+    def test_outlier_detection(self, stats_df):
+        cells = find_outlier_cells(stats_df, ["m1_std", "m2_std"],
+                                   threshold=0.9)
+        found = {(name, col) for name, col, _ in cells}
+        assert ("B", "m1_std") in found
+        assert ("C", "m2_std") in found
+        assert ("A", "m1_std") not in found
+
+
+class TestHistogram:
+    def test_counts_sum_to_n(self):
+        vals = np.random.default_rng(0).normal(0, 1, 137)
+        counts, edges = histogram_counts(vals, bins=12)
+        assert counts.sum() == 137
+        assert len(edges) == 13
+
+    def test_empty_input(self):
+        counts, _ = histogram_counts(np.array([]), bins=5)
+        assert counts.sum() == 0
+
+    def test_text_render(self):
+        text = histogram_text(np.array([1.0, 2.0, 2.0, 3.0]), bins=2,
+                              title="demo")
+        assert text.startswith("demo")
+        assert "█" in text
+
+    def test_svg_render(self):
+        svg = histogram_svg(np.array([1.0, 2.0, 3.0]), bins=3, title="h")
+        assert "<svg" in svg.to_string()
+
+    def test_node_metric_values(self, raja_thicket_10rep):
+        vals = node_metric_values(raja_thicket_10rep, "Apps_VOL3D",
+                                  "time (exc)")
+        assert len(vals) == 10
+        assert (vals > 0).all()
+
+
+class TestScatter:
+    def test_render_with_categories(self):
+        svg = scatter_svg([1, 2, 3, 4], [4, 3, 2, 1],
+                          labels=["a", "b", "c", "d"],
+                          colors_by=["x", "x", "y", "y"],
+                          xlabel="speedup", ylabel="retiring")
+        text = svg.to_string()
+        assert "speedup" in text
+        assert text.count("<circle") >= 4
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            scatter_svg([1], [1, 2])
+
+    def test_nan_points_skipped(self):
+        svg = scatter_svg([1.0, float("nan")], [1.0, 2.0])
+        assert "<svg" in svg.to_string()
+
+
+class TestParallelCoordinates:
+    @pytest.fixture
+    def meta(self):
+        return DataFrame({
+            "arch": ["CTS1", "CTS1", "AWS", "AWS"],
+            "mpi.world.size": [36, 72, 36, 72],
+            "walltime": [100.0, 52.0, 80.0, 41.0],
+        })
+
+    def test_render(self, meta):
+        svg = parallel_coordinates_svg(
+            meta, ["arch", "mpi.world.size", "walltime"], color_by="arch")
+        text = svg.to_string()
+        assert text.count("<polyline") == 4
+        assert "walltime" in text
+
+    def test_crossing_fraction_inverse_correlation(self, meta):
+        # ranks↔walltime are inversely correlated -> high crossing
+        assert crossing_fraction(meta, "mpi.world.size", "walltime") > 0.5
+
+    def test_crossing_fraction_positive_correlation(self):
+        df = DataFrame({"a": [1, 2, 3], "b": [10, 20, 30]})
+        assert crossing_fraction(df, "a", "b") == 0.0
+
+    def test_empty_frame(self):
+        svg = parallel_coordinates_svg(DataFrame(), [])
+        assert "<svg" in svg.to_string()
+
+
+class TestLinePlots:
+    def test_multi_series(self):
+        svg = line_plot_svg({
+            "A": ([1, 2, 4], [4.0, 2.0, 1.0]),
+            "B": ([1, 2, 4], [3.0, 1.5, 0.8]),
+        }, logx=True, logy=True, title="scaling")
+        text = svg.to_string()
+        assert text.count("<polyline") == 2
+        assert "2^" in text
+
+    def test_scaling_plot_adds_ideal(self):
+        svg = scaling_plot_svg({"CTS1": ([1, 2, 4], [8.0, 4.2, 2.3])})
+        text = svg.to_string()
+        assert "CTS1-ideal" in text
+
+
+class TestTopdownViz:
+    def test_table_groups_by_metadata(self, raja_thicket):
+        table = topdown_table(raja_thicket, "problem_size",
+                              nodes=["Apps_VOL3D"])
+        assert "Apps_VOL3D" in table
+        sizes = list(table["Apps_VOL3D"].keys())
+        assert sizes == sorted(sizes)
+        for fractions in table["Apps_VOL3D"].values():
+            assert sum(fractions.values()) == pytest.approx(1.0, abs=0.02)
+
+    def test_text_render(self, raja_thicket):
+        text = topdown_text(raja_thicket, "problem_size",
+                            nodes=["Apps_VOL3D", "Stream_DOT"])
+        assert "Apps_VOL3D" in text
+        assert "legend:" in text
+
+    def test_svg_render(self, raja_thicket):
+        svg = topdown_svg(raja_thicket, "problem_size",
+                          nodes=["Apps_VOL3D", "Stream_DOT"])
+        text = svg.to_string()
+        assert "Apps_VOL3D" in text
+        assert text.count("<rect") > 8
+
+
+class TestTreeViz:
+    def test_thicket_tree_with_stats(self, raja_thicket_10rep):
+        stats.mean(raja_thicket_10rep, ["time (exc)"])
+        text = raja_thicket_10rep.tree(metric_column="time (exc)_mean")
+        assert "Apps_VOL3D" in text
+
+
+class TestBoxplot:
+    def test_text_render(self, raja_thicket_10rep):
+        from repro.viz import boxplot_text
+
+        text = boxplot_text(raja_thicket_10rep,
+                            ["Apps_VOL3D", "Stream_DOT"], "time (exc)")
+        assert "Apps_VOL3D" in text
+        assert "█" in text and "▒" in text
+
+    def test_svg_render(self, raja_thicket_10rep, tmp_path):
+        from repro.viz import boxplot_svg
+
+        svg = boxplot_svg(raja_thicket_10rep,
+                          ["Apps_VOL3D", "Stream_DOT", "Lcals_HYDRO_1D"],
+                          "time (exc)", title="spread")
+        text = svg.to_string()
+        assert text.count("<rect") >= 4  # background + 3 boxes
+        svg.save(tmp_path / "box.svg")
+
+    def test_unknown_node_skipped(self, raja_thicket_10rep):
+        from repro.viz import boxplot_text
+
+        assert boxplot_text(raja_thicket_10rep, ["ghost"],
+                            "time (exc)") == "(no data)"
+
+    def test_outlier_fliers_drawn(self):
+        from repro import Thicket
+        from repro.graph import GraphFrame
+        from repro.viz import boxplot_svg
+
+        gfs = []
+        times = [1.0, 1.01, 0.99, 1.02, 0.98, 5.0]  # one wild outlier
+        for i, t in enumerate(times):
+            gf = GraphFrame.from_literal([{"frame": {"name": "k"},
+                                           "metrics": {"time (exc)": t}}])
+            gf.metadata["id"] = i
+            gfs.append(gf)
+        tk = Thicket.from_caliperreader(gfs)
+        svg = boxplot_svg(tk, ["k"], "time (exc)").to_string()
+        assert "outlier: 5" in svg
+
+
+class TestTableSVG:
+    def test_flat_table(self, raja_thicket):
+        from repro.viz import table_svg
+
+        svg = table_svg(raja_thicket.metadata.select(
+            ["problem_size", "compiler"]), title="Fig 5")
+        text = svg.to_string()
+        assert "Fig 5" in text
+        assert "clang++-9.0.0" in text
+
+    def test_hierarchical_columns_banner(self):
+        from repro.frame import DataFrame, MultiIndex
+        from repro.viz import table_svg
+
+        mi = MultiIndex([("n1", 1), ("n1", 2)], names=["node", "size"])
+        df = DataFrame({("CPU", "time"): [1.0, 2.0],
+                        ("GPU", "time"): [0.1, 0.2]}, index=mi)
+        text = table_svg(df).to_string()
+        assert "CPU" in text and "GPU" in text
+        assert "node" in text and "size" in text
+
+    def test_truncation_notice(self):
+        from repro.frame import DataFrame
+        from repro.viz import table_svg
+
+        df = DataFrame({"v": list(range(100))})
+        text = table_svg(df, max_rows=5).to_string()
+        assert "(100 rows)" in text

@@ -1,0 +1,71 @@
+"""Unit tests for the notebook-widget data export (repro.viz.export)."""
+
+import json
+
+import pytest
+
+from repro.viz import export_json, pcp_payload, tree_table_payload
+
+
+class TestTreeTablePayload:
+    def test_structure(self, raja_thicket):
+        payload = tree_table_payload(raja_thicket,
+                                     metrics=["time (exc)", "Retiring"],
+                                     group_column="problem_size")
+        assert payload["metrics"] == ["time (exc)", "Retiring"]
+        assert payload["groups"] == [1048576, 4194304]
+        # tree covers every node, each with an id and name
+        def count(n):
+            return 1 + sum(count(c) for c in n["children"])
+        assert sum(count(r) for r in payload["tree"]) == \
+            len(raja_thicket.graph)
+
+    def test_rows_per_node_match_profiles(self, raja_thicket):
+        payload = tree_table_payload(raja_thicket, metrics=["time (exc)"])
+        for rows in payload["rows"].values():
+            assert len(rows) == len(raja_thicket.profile)
+            for entry in rows:
+                assert "time (exc)" in entry
+
+    def test_group_attached_to_rows(self, raja_thicket):
+        payload = tree_table_payload(raja_thicket, metrics=["time (exc)"],
+                                     group_column="compiler")
+        groups = {e["group"] for rows in payload["rows"].values()
+                  for e in rows}
+        assert groups == {"clang++-9.0.0", "xlc-16.1.1.12"}
+
+    def test_json_serializable(self, raja_thicket, tmp_path):
+        payload = tree_table_payload(raja_thicket, metrics=["time (exc)"])
+        path = export_json(payload, tmp_path / "widgets" / "tree.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["metrics"] == ["time (exc)"]
+
+
+class TestPCPPayload:
+    def test_structure(self, marbl_thicket):
+        payload = pcp_payload(
+            marbl_thicket,
+            ["arch", "mpi.world.size", "walltime", "num_elems_max"],
+            color_by="arch")
+        assert payload["axes"][0] == "arch"
+        assert len(payload["records"]) == len(marbl_thicket.profile)
+        for rec in payload["records"]:
+            assert set(rec) >= {"profile", "arch", "walltime"}
+
+    def test_node_metric_axis(self, marbl_thicket):
+        payload = pcp_payload(
+            marbl_thicket, ["arch", "mpi.world.size"],
+            metric_columns=["time per cycle (inc)"],
+            node_name="timeStepLoop")
+        assert "time per cycle (inc)" in payload["axes"]
+        vals = [r["time per cycle (inc)"] for r in payload["records"]]
+        assert all(v is not None and v > 0 for v in vals)
+
+    def test_unknown_metadata_column(self, marbl_thicket):
+        with pytest.raises(KeyError):
+            pcp_payload(marbl_thicket, ["ghost"])
+
+    def test_json_serializable(self, marbl_thicket, tmp_path):
+        payload = pcp_payload(marbl_thicket, ["arch", "walltime"])
+        path = export_json(payload, tmp_path / "pcp.json")
+        assert json.loads(path.read_text())["axes"] == ["arch", "walltime"]

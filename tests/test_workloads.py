@@ -1,0 +1,268 @@
+"""Unit tests for the synthetic workloads (machines, rajaperf, marbl, ncu)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    AWS_PARALLELCLUSTER,
+    KERNEL_GROUPS,
+    KERNELS,
+    LASSEN_GPU,
+    MARBL_CAMPAIGN,
+    QUARTZ,
+    RAJA_CAMPAIGN,
+    RZTOPAZ,
+    generate_marbl_profile,
+    generate_ncu_report,
+    generate_rajaperf_profile,
+    iter_marbl_profiles,
+    iter_raja_profiles,
+    kernel_time,
+    marbl_campaign_table,
+    marbl_times,
+    optimization_factor,
+    raja_campaign_table,
+)
+
+
+class TestMachines:
+    def test_thread_scaling_monotone(self):
+        assert QUARTZ.effective_mem_bw(36) > QUARTZ.effective_mem_bw(1)
+        assert QUARTZ.effective_gflops(36) > QUARTZ.effective_gflops(1)
+
+    def test_gpu_rates_flat(self):
+        assert LASSEN_GPU.effective_mem_bw(80) == LASSEN_GPU.mem_bw_gbs
+
+    def test_aws_node_faster_than_cts(self):
+        assert AWS_PARALLELCLUSTER.gflops > RZTOPAZ.gflops
+
+    def test_efa_latency_higher_than_omnipath(self):
+        assert AWS_PARALLELCLUSTER.net_latency_us > RZTOPAZ.net_latency_us
+
+
+class TestKernelModel:
+    def test_time_scales_with_problem_size(self):
+        k = KERNELS["Stream_DOT"]
+        t1 = kernel_time(k, 1048576, QUARTZ)
+        t8 = kernel_time(k, 8388608, QUARTZ)
+        assert t8 > 4 * t1  # superlinear: cache effect on top of 8x work
+
+    def test_o2_is_best_for_every_kernel(self):
+        """Paper Fig. 10: -O2 produces the best performance."""
+        for k in KERNELS.values():
+            times = {o: optimization_factor(k, o) for o in (0, 1, 2, 3)}
+            assert min(times, key=times.get) == 2
+
+    def test_o0_speedup_range_matches_fig10(self):
+        """Speedups relative to -O0 fall in the paper's 1.0–2.5+ band."""
+        for name in KERNEL_GROUPS["Stream"]:
+            k = KERNELS[name]
+            speedup = optimization_factor(k, 0) / optimization_factor(k, 2)
+            assert 1.3 < speedup < 2.8
+
+    def test_dot_mul_gain_more_than_add_copy_triad(self):
+        gain = {
+            name: optimization_factor(KERNELS[name], 0)
+            / optimization_factor(KERNELS[name], 2)
+            for name in KERNEL_GROUPS["Stream"]
+        }
+        for vec in ("Stream_DOT", "Stream_MUL"):
+            for plain in ("Stream_ADD", "Stream_COPY", "Stream_TRIAD"):
+                assert gain[vec] > gain[plain]
+
+    def test_invalid_opt_level(self):
+        with pytest.raises(ValueError):
+            optimization_factor(KERNELS["Stream_ADD"], 7)
+
+    def test_gpu_speedups_match_fig15_shape(self):
+        """VOL3D gains more from the GPU than HYDRO_1D (12.2 vs 8.6)."""
+        sp = {}
+        for name in ("Apps_VOL3D", "Lcals_HYDRO_1D"):
+            cpu = kernel_time(KERNELS[name], 8388608, QUARTZ)
+            gpu = kernel_time(KERNELS[name], 8388608, LASSEN_GPU,
+                              block_size=256)
+            sp[name] = cpu / gpu
+        assert sp["Apps_VOL3D"] > sp["Lcals_HYDRO_1D"] > 4.0
+        assert 8.0 < sp["Apps_VOL3D"] < 20.0
+
+
+class TestRajaProfile:
+    def test_tree_structure(self):
+        prof = generate_rajaperf_profile(QUARTZ, 1048576,
+                                         kernels=["Stream_DOT", "Apps_VOL3D"])
+        paths = {r["path"] for r in prof["records"]}
+        assert ("Base_Sequential",) in paths
+        assert ("Base_Sequential", "Stream", "Stream_DOT") in paths
+        assert ("Base_Sequential", "Apps", "Apps_VOL3D") in paths
+
+    def test_topdown_fractions_valid(self):
+        prof = generate_rajaperf_profile(QUARTZ, 4194304, topdown=True,
+                                         kernels=["Stream_DOT"])
+        rec = [r for r in prof["records"]
+               if r["path"][-1] == "Stream_DOT"][0]
+        total = sum(rec["metrics"][m] for m in
+                    ("Retiring", "Frontend bound", "Backend bound",
+                     "Bad speculation"))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_cuda_profile_block_leaves(self):
+        prof = generate_rajaperf_profile(LASSEN_GPU, 1048576, variant="CUDA",
+                                         block_size=512,
+                                         kernels=["Algorithm_MEMCPY"])
+        names = {r["path"][-1] for r in prof["records"]}
+        assert "Algorithm_MEMCPY.block_512" in names
+        assert "Algorithm_MEMCPY.library" in names
+        assert prof["globals"]["block size"] == 512
+
+    def test_cuda_kernel_node_has_gpu_time(self):
+        prof = generate_rajaperf_profile(LASSEN_GPU, 1048576, variant="CUDA",
+                                         kernels=["Apps_VOL3D"])
+        rec = [r for r in prof["records"]
+               if r["path"][-1] == "Apps_VOL3D"][0]
+        assert rec["metrics"]["time (gpu)"] > 0
+
+    def test_noise_seeded_deterministic(self):
+        a = generate_rajaperf_profile(QUARTZ, 1048576, seed=5)
+        b = generate_rajaperf_profile(QUARTZ, 1048576, seed=5)
+        assert a["records"][2]["metrics"] == b["records"][2]["metrics"]
+
+    def test_metadata_globals(self):
+        prof = generate_rajaperf_profile(QUARTZ, 2097152, opt_level=1,
+                                         metadata={"user": "Jane"})
+        g = prof["globals"]
+        assert g["problem_size"] == 2097152
+        assert g["compiler optimizations"] == "-O1"
+        assert g["user"] == "Jane"
+        assert g["cluster"] == "quartz"
+
+
+class TestMarbl:
+    def test_strong_scaling_near_ideal_to_16_nodes(self):
+        """Fig. 17: both clusters scale well up to 16 nodes."""
+        for machine in (RZTOPAZ, AWS_PARALLELCLUSTER):
+            t1 = marbl_times(machine, 1)["cycle_total"]["timeStepLoop"]
+            t16 = marbl_times(machine, 16)["cycle_total"]["timeStepLoop"]
+            efficiency = t1 / (16 * t16)
+            assert efficiency > 0.75
+
+    def test_scaling_tails_off_at_64_nodes(self):
+        for machine in (RZTOPAZ, AWS_PARALLELCLUSTER):
+            t16 = marbl_times(machine, 16)["cycle_total"]["timeStepLoop"]
+            t64 = marbl_times(machine, 64)["cycle_total"]["timeStepLoop"]
+            efficiency_16_to_64 = t16 / (4 * t64)
+            assert efficiency_16_to_64 < 0.95
+
+    def test_aws_consistently_faster(self):
+        """Figs. 17/18: AWS ParallelCluster lower than RZTopaz."""
+        for nodes in (1, 4, 16, 64):
+            aws = marbl_times(AWS_PARALLELCLUSTER, nodes)
+            cts = marbl_times(RZTOPAZ, nodes)
+            assert (aws["cycle_total"]["timeStepLoop"]
+                    < cts["cycle_total"]["timeStepLoop"])
+
+    def test_solver_avg_rank_decreasing_cube_root(self):
+        ranks = [36 * n for n in (1, 4, 16, 32)]
+        vals = [marbl_times(RZTOPAZ, n)["avg_rank"]["M_solver->Mult"]
+                for n in (1, 4, 16, 32)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_profile_tree(self):
+        prof = generate_marbl_profile(RZTOPAZ, 4, seed=1)
+        paths = {r["path"] for r in prof["records"]}
+        assert ("main", "timeStepLoop", "M_solver->Mult") in paths
+        assert ("main", "timeStepLoop", "mpi_comm") in paths
+
+    def test_profile_metadata(self):
+        prof = generate_marbl_profile(AWS_PARALLELCLUSTER, 8, mpi="impi",
+                                      seed=2)
+        g = prof["globals"]
+        assert g["mpi.world.size"] == 288
+        assert g["numhosts"] == 8
+        assert g["arch"] == "C5n.18xlarge"
+        assert g["num_elems_max"] * 288 >= 12_582_912
+        assert g["walltime"] > 0
+
+
+class TestNCU:
+    def test_metrics_in_percent_range(self):
+        report = generate_ncu_report(8388608)
+        for metrics in report.values():
+            for v in metrics.values():
+                assert 0.0 < v <= 100.0
+
+    def test_memory_bound_signature(self):
+        """Fig. 15: HYDRO_1D saturates DRAM with tiny SM throughput."""
+        report = generate_ncu_report(8388608)
+        hydro = report["Lcals_HYDRO_1D"]
+        vol3d = report["Apps_VOL3D"]
+        assert hydro["gpu__dram_throughput"] > 80.0
+        assert hydro["sm__throughput"] < 15.0
+        assert vol3d["sm__throughput"] > 2 * hydro["sm__throughput"]
+
+    def test_deterministic(self):
+        a = generate_ncu_report(1048576, seed=3)
+        b = generate_ncu_report(1048576, seed=3)
+        assert a == b
+
+
+class TestCampaigns:
+    def test_fig13_profile_counts(self):
+        counts = [row["#profiles"] for row in raja_campaign_table()]
+        assert counts == [160, 160, 40, 40, 160]
+        assert sum(counts) == 560
+
+    def test_fig16_profile_counts(self):
+        rows = marbl_campaign_table()
+        assert [r["#profiles"] for r in rows] == [30, 30]
+        assert rows[0]["mpi"] == "impi"
+        assert rows[1]["mpi"] == "openmpi"
+        assert rows[0]["mpi.world.size"] == [36, 72, 144, 288, 576, 1152]
+
+    def test_iter_raja_scaled(self):
+        profiles = list(iter_raja_profiles(scale=0.1,
+                                           kernels=["Stream_DOT"]))
+        expected = sum(
+            len(c.problem_sizes) * len(c.opt_levels)
+            * max(len(c.block_sizes), 1) for c in RAJA_CAMPAIGN
+        )
+        assert len(profiles) == expected
+
+    def test_iter_marbl_scaled(self):
+        profiles = list(iter_marbl_profiles(scale=0.2))
+        expected = sum(len(c.node_counts) for c in MARBL_CAMPAIGN)
+        assert len(profiles) == expected
+
+    def test_write_campaign_files(self, tmp_path):
+        from repro.workloads import write_marbl_campaign
+
+        paths = write_marbl_campaign(tmp_path, scale=0.2)
+        assert len(paths) == 12
+        assert all(p.exists() for p in paths)
+
+
+class TestKernelCatalog:
+    def test_groups_cover_the_suite(self):
+        assert set(KERNEL_GROUPS) == {
+            "Stream", "Apps", "Lcals", "Polybench", "Algorithm", "Basic"}
+        assert len(KERNELS) >= 35
+
+    def test_catalog_well_formed(self):
+        for k in KERNELS.values():
+            assert k.bytes_per_elem >= 0
+            assert k.flops_per_elem >= 0
+            assert k.reps > 0
+            assert 0.0 <= k.branchiness < 0.5
+            assert 0.0 <= k.vectorizability <= 1.0
+            assert k.name.startswith(k.group + "_") or k.group in k.name
+
+    def test_every_kernel_has_positive_time(self):
+        for k in KERNELS.values():
+            t = kernel_time(k, 1048576, QUARTZ)
+            assert t > 0
+            assert np.isfinite(t)
+
+    def test_full_suite_profile_has_all_kernels(self):
+        prof = generate_rajaperf_profile(QUARTZ, 1048576, topdown=True)
+        names = {r["path"][-1] for r in prof["records"]}
+        for k in KERNELS:
+            assert k in names
