@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Repo health check: tier-1 tests, warning-clean bytecode compilation,
+# and a smoke run of the fault-tolerant ingestion benchmark.
+#
+# Usage: scripts/check.sh  (from anywhere; cd's to the repo root)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== compileall (warnings are errors) =="
+python -W error -m compileall -q src
+
+echo "== ingestion benchmark smoke =="
+python -m pytest benchmarks/bench_ingest_faulty.py -q \
+    --benchmark-disable
+
+echo "== all checks passed =="

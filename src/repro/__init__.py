@@ -18,9 +18,23 @@ Quick start::
     tk.dataframe                              # (node, profile) metric table
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from .core import Thicket, concat_thickets, profile_hash  # noqa: E402
+from .errors import (  # noqa: E402
+    CompositionError,
+    ProfileConflictError,
+    ReaderError,
+    ReproError,
+    SchemaError,
+)
+from .ingest import IngestReport, IngestResult, load_ensemble  # noqa: E402
 from .query import QueryMatcher  # noqa: E402
 
-__all__ = ["Thicket", "concat_thickets", "profile_hash", "QueryMatcher", "__version__"]
+__all__ = [
+    "Thicket", "concat_thickets", "profile_hash", "QueryMatcher",
+    "ReproError", "ReaderError", "SchemaError", "CompositionError",
+    "ProfileConflictError",
+    "load_ensemble", "IngestReport", "IngestResult",
+    "__version__",
+]

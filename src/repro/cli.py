@@ -14,6 +14,15 @@ the "quick look before opening a notebook" path::
                                --metric "Avg time/rank"
     python -m repro scaling    profiles/ --node timeStepLoop \
                                --metric "time per cycle (inc)"
+    python -m repro ingest     profiles/ --on-error collect
+
+Every subcommand takes ``--on-error {strict,skip,collect}`` (default
+``strict``): ``skip``/``collect`` quarantine corrupt profiles instead
+of aborting, printing a human-readable quarantine summary on stderr.
+
+Exit codes: 0 success; 1 command-level failure (e.g. no query match);
+2 ingestion failed (strict error, or nothing loadable); 3 partial
+ingestion (the command succeeded but profiles were quarantined).
 """
 
 from __future__ import annotations
@@ -23,20 +32,43 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser",
+           "EXIT_OK", "EXIT_INGEST_FAILURE", "EXIT_PARTIAL_INGEST"]
+
+EXIT_OK = 0
+EXIT_INGEST_FAILURE = 2
+EXIT_PARTIAL_INGEST = 3
 
 
-def _load_thicket(profile_dir: str):
-    from .core.thicket import Thicket
-
+def _profile_paths(profile_dir: str) -> list[Path]:
     paths = sorted(Path(profile_dir).glob("*.json"))
     if not paths:
         raise SystemExit(f"no *.json profiles found in {profile_dir}")
-    return Thicket.from_caliperreader(paths)
+    return paths
+
+
+def _load_thicket(args):
+    """Load the ensemble under the requested error policy.
+
+    Stores the :class:`~repro.ingest.IngestReport` on *args* so
+    :func:`main` can turn quarantined profiles into exit code 3, and
+    prints the quarantine summary to stderr.
+    """
+    from .ingest import load_ensemble
+
+    tk, report = load_ensemble(_profile_paths(args.profiles),
+                               on_error=args.on_error)
+    args._ingest_report = report
+    if not report.ok:
+        print(report.summary(), file=sys.stderr)
+    if tk is None:
+        print(f"no usable profiles in {args.profiles}", file=sys.stderr)
+        raise SystemExit(EXIT_INGEST_FAILURE)
+    return tk
 
 
 def _cmd_summarize(args) -> int:
-    tk = _load_thicket(args.profiles)
+    tk = _load_thicket(args)
     print(tk)
     print(f"\nprofiles : {len(tk.profile)}")
     print(f"nodes    : {len(tk.graph)}")
@@ -48,7 +80,7 @@ def _cmd_summarize(args) -> int:
 
 
 def _cmd_metadata(args) -> int:
-    tk = _load_thicket(args.profiles)
+    tk = _load_thicket(args)
     meta = tk.metadata
     if args.columns:
         wanted = [c.strip() for c in args.columns.split(",")]
@@ -63,7 +95,7 @@ def _cmd_metadata(args) -> int:
 def _cmd_tree(args) -> int:
     from .core import stats as stats_mod
 
-    tk = _load_thicket(args.profiles)
+    tk = _load_thicket(args)
     metric = args.metric or tk.default_metric
     if metric is None:
         raise SystemExit("no metric given and no default available")
@@ -81,7 +113,7 @@ def _cmd_tree(args) -> int:
 def _cmd_stats(args) -> int:
     from .core import stats as stats_mod
 
-    tk = _load_thicket(args.profiles)
+    tk = _load_thicket(args)
     metrics = [m.strip() for m in args.metrics.split(",")]
     functions = [f.strip() for f in args.functions.split(",")]
     for fn_name in functions:
@@ -96,7 +128,7 @@ def _cmd_stats(args) -> int:
 def _cmd_query(args) -> int:
     from .query.dialect import parse_string_dialect
 
-    tk = _load_thicket(args.profiles)
+    tk = _load_thicket(args)
     matcher = parse_string_dialect(args.query)
     out = tk.query(matcher)
     if not len(out.graph):
@@ -110,7 +142,7 @@ def _cmd_query(args) -> int:
 def _cmd_model(args) -> int:
     from .model import ExtrapInterface
 
-    tk = _load_thicket(args.profiles)
+    tk = _load_thicket(args)
     models = ExtrapInterface().model_thicket(tk, args.parameter, args.metric)
     order = {n: i for i, n in enumerate(tk.graph.traverse())}
     for node in sorted(models, key=lambda n: order[n]):
@@ -123,10 +155,30 @@ def _cmd_model(args) -> int:
 def _cmd_scaling(args) -> int:
     from .core.scaling import karp_flatt
 
-    tk = _load_thicket(args.profiles)
+    tk = _load_thicket(args)
     table = karp_flatt(tk, args.node, args.metric,
                        resource_column=args.resource)
     print(table.to_string())
+    return 0
+
+
+def _cmd_ingest(args) -> int:
+    """Health-check a campaign directory: ingest and print the report."""
+    import json as json_mod
+
+    from .ingest import load_ensemble
+
+    tk, report = load_ensemble(_profile_paths(args.profiles),
+                               on_error=args.on_error)
+    args._ingest_report = report
+    if args.json:
+        print(json_mod.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+        if tk is not None:
+            print(f"composed: {tk}")
+    if tk is None:
+        return EXIT_INGEST_FAILURE
     return 0
 
 
@@ -140,6 +192,11 @@ def build_parser() -> argparse.ArgumentParser:
     def add(name, fn, help_text):
         p = sub.add_parser(name, help=help_text)
         p.add_argument("profiles", help="directory of *.json cali profiles")
+        p.add_argument("--on-error", choices=["strict", "skip", "collect"],
+                       default="strict", dest="on_error",
+                       help="per-profile error policy: strict aborts on the "
+                            "first bad profile, skip/collect quarantine bad "
+                            "profiles and compose the rest")
         p.set_defaults(fn=fn)
         return p
 
@@ -172,6 +229,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="metadata column, e.g. mpi.world.size")
     p.add_argument("--metric", required=True)
 
+    p = add("ingest", _cmd_ingest,
+            "validate a campaign directory and print the ingest report")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report")
+
     p = add("scaling", _cmd_scaling, "strong-scaling / Karp-Flatt table")
     p.add_argument("--node", required=True)
     p.add_argument("--metric", required=True)
@@ -181,8 +243,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    from .errors import ReproError
+
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        rc = args.fn(args)
+    except ReproError as e:
+        print(f"error [{e.stage}]: {type(e).__name__}: {e}", file=sys.stderr)
+        return EXIT_INGEST_FAILURE
+    report = getattr(args, "_ingest_report", None)
+    if rc == EXIT_OK and report is not None and report.quarantined:
+        return EXIT_PARTIAL_INGEST
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

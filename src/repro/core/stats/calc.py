@@ -35,11 +35,15 @@ def resolve_columns(tk, columns: Sequence[Hashable] | None) -> list[Hashable]:
     return list(columns)
 
 
-def grouped_values(tk, column: Hashable) -> tuple[list, list[np.ndarray]]:
+def grouped_values(tk, column: Hashable,
+                   drop_nonfinite: bool = True) -> tuple[list, list[np.ndarray]]:
     """Per-node float arrays of a metric across profiles.
 
     Returns ``(nodes, arrays)`` ordered like the statsframe index, with
-    missing values dropped per node.
+    missing values dropped per node.  Non-finite values (``±inf`` from
+    corrupt or overflowed metrics) are treated as missing by default so
+    sparse partial-ensemble tables degrade gracefully instead of
+    propagating ``inf`` through every reduction.
     """
     positions: dict[Any, list[int]] = {}
     for i, t in enumerate(tk.dataframe.index.values):
@@ -49,7 +53,9 @@ def grouped_values(tk, column: Hashable) -> tuple[list, list[np.ndarray]]:
     arrays = []
     for node in nodes:
         pos = positions.get(node, [])
-        arrays.append(numeric_values(col[pos]) if pos else np.empty(0))
+        arrays.append(
+            numeric_values(col[pos], drop_nonfinite=drop_nonfinite)
+            if pos else np.empty(0))
     return nodes, arrays
 
 

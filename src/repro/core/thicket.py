@@ -27,7 +27,6 @@ import numpy as np
 
 from ..frame import DataFrame, Index, MultiIndex, concat_rows
 from ..graph import Graph, GraphFrame, Node, union_many
-from ..readers.caliper import read_cali_json
 
 __all__ = ["Thicket", "profile_hash"]
 
@@ -53,10 +52,14 @@ class Thicket:
                  profiles: Sequence[Any] | None = None,
                  exc_metrics: Sequence[str] | None = None,
                  inc_metrics: Sequence[str] | None = None,
-                 default_metric: str | None = None):
+                 default_metric: str | None = None,
+                 provenance: Mapping[str, Any] | None = None):
         self.graph = graph
         self.dataframe = dataframe
         self.metadata = metadata
+        # ingestion provenance: error policy, dropped-profile list and
+        # repaired id collisions (populated by repro.ingest.load_ensemble)
+        self.provenance: dict[str, Any] = dict(provenance or {})
         self.exc_metrics = list(exc_metrics or [])
         self.inc_metrics = list(inc_metrics or [])
         self.default_metric = default_metric or (
@@ -83,8 +86,15 @@ class Thicket:
     def from_caliperreader(cls, sources: Iterable[Any] | Any,
                            intersection: bool = False,
                            metadata_key: str | None = None,
-                           fill_perfdata: bool = False) -> "Thicket":
+                           fill_perfdata: bool = False,
+                           on_error: str = "strict") -> "Thicket":
         """Compose Caliper profiles (file paths or GraphFrames) into a Thicket.
+
+        Loading runs through the fault-tolerant ingestion pipeline
+        (:func:`repro.ingest.load_ensemble`): payloads are validated
+        before graph construction and every failure surfaces as a
+        typed :class:`repro.errors.ReproError` naming the offending
+        source — never a bare ``KeyError``.
 
         Parameters
         ----------
@@ -100,37 +110,48 @@ class Thicket:
             With the union semantics, emit NaN rows for (node, profile)
             pairs where the profile did not visit the node, giving a
             dense table (the xarray-style layout discussed in §6).
+        on_error:
+            Per-profile error policy: ``"strict"`` raises the first
+            error (default); ``"skip"``/``"collect"`` drop bad
+            profiles and record them in ``thicket.provenance``
+            (``"skip"`` additionally warns per drop).  Use
+            :func:`repro.ingest.load_ensemble` directly to also get
+            the structured :class:`~repro.ingest.IngestReport`.
         """
-        if isinstance(sources, (str, Path, GraphFrame)):
-            sources = [sources]
-        gfs: list[GraphFrame] = []
-        for src in sources:
-            if isinstance(src, GraphFrame):
-                gfs.append(src)
-            else:
-                gfs.append(read_cali_json(src))
+        from ..ingest import load_ensemble
+
+        tk, report = load_ensemble(
+            sources, on_error=on_error, metadata_key=metadata_key,
+            intersection=intersection, fill_perfdata=fill_perfdata)
+        if tk is None:
+            from ..errors import CompositionError
+
+            raise CompositionError(
+                "no profiles could be loaded:\n" + report.summary())
+        return tk
+
+    @classmethod
+    def _compose(cls, gfs: Sequence[GraphFrame], profile_ids: Sequence[Any],
+                 intersection: bool = False, fill_perfdata: bool = False,
+                 provenance: Mapping[str, Any] | None = None) -> "Thicket":
+        """Compose already-loaded GraphFrames under resolved profile ids.
+
+        The structural core shared by :meth:`from_caliperreader` and
+        the ingestion pipeline; ``profile_ids`` must already be unique
+        (the pipeline repairs or rejects collisions before calling).
+        """
+        from ..errors import ProfileConflictError
+
+        gfs = list(gfs)
+        profile_ids = list(profile_ids)
         if not gfs:
-            raise ValueError("no profiles given")
-
-        union_graph, maps = union_many([gf.graph for gf in gfs])
-
-        # profile ids
-        profile_ids: list[Any] = []
-        for gf in gfs:
-            if metadata_key is not None:
-                try:
-                    pid = gf.metadata[metadata_key]
-                except KeyError:
-                    raise KeyError(
-                        f"metadata_key {metadata_key!r} missing from a profile"
-                    ) from None
-            else:
-                pid = profile_hash(gf.metadata)
-            profile_ids.append(pid)
+            raise ProfileConflictError("no profiles given")
         if len(set(profile_ids)) != len(profile_ids):
-            raise ValueError(
+            raise ProfileConflictError(
                 "profile ids are not unique; choose a different metadata_key"
             )
+
+        union_graph, maps = union_many([gf.graph for gf in gfs])
 
         # performance data rows, re-keyed to union nodes
         per_profile: list[DataFrame] = []
@@ -202,7 +223,7 @@ class Thicket:
         )
         return cls(union_graph, perf, metadata, profiles=profile_ids,
                    exc_metrics=list(exc), inc_metrics=list(inc),
-                   default_metric=default)
+                   default_metric=default, provenance=provenance)
 
     # ------------------------------------------------------------------
     # basic API
@@ -232,7 +253,8 @@ class Thicket:
                        profiles=list(self.profile),
                        exc_metrics=list(self.exc_metrics),
                        inc_metrics=list(self.inc_metrics),
-                       default_metric=self.default_metric)
+                       default_metric=self.default_metric,
+                       provenance=dict(self.provenance))
 
     def tree(self, metric_column: str | None = None, precision: int = 3,
              color: bool = False) -> str:

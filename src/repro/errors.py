@@ -1,0 +1,87 @@
+"""Typed exception hierarchy for the whole toolkit.
+
+Large campaigns (the paper's 1,903-profile RAJAPerf sweep, §5.1) make
+corrupt inputs a statistical certainty, and a raw ``KeyError`` deep in
+a reader is useless at that scale: it names neither the file nor the
+ingestion stage that failed.  Every error raised by the readers, the
+ingestion pipeline, and ensemble composition therefore derives from
+:class:`ReproError` and carries
+
+* ``source`` — the offending file path / profile id (``None`` when the
+  input was an in-memory object with no useful address), and
+* ``stage``  — the pipeline stage that failed (``read``, ``validate``,
+  ``build``, or ``compose``).
+
+Hierarchy::
+
+    ReproError
+    ├── ReaderError            I/O and JSON-decode failures
+    │   └── SchemaError        payload present but structurally invalid
+    └── CompositionError       ensemble-level failures (also ValueError)
+        └── ProfileConflictError   colliding / unusable profile ids
+
+``CompositionError`` doubles as a ``ValueError`` so that pre-existing
+callers catching ``ValueError`` around :meth:`Thicket.from_caliperreader`
+keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "ReproError",
+    "ReaderError",
+    "SchemaError",
+    "CompositionError",
+    "ProfileConflictError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error this toolkit raises on bad input.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the failure.
+    source:
+        Path / profile id of the offending input, when known.
+    stage:
+        Ingestion stage that failed (``read``/``validate``/``build``/
+        ``compose``).
+    """
+
+    default_stage: str = "ingest"
+
+    def __init__(self, message: str, *, source: Any = None,
+                 stage: str | None = None):
+        self.source = str(source) if source is not None else None
+        self.stage = stage or self.default_stage
+        if self.source and self.source not in message:
+            message = f"{message} [source: {self.source}]"
+        super().__init__(message)
+
+
+class ReaderError(ReproError):
+    """A profile could not be read: I/O failure or undecodable JSON."""
+
+    default_stage = "read"
+
+
+class SchemaError(ReaderError):
+    """A payload decoded fine but violates the cali-JSON schema."""
+
+    default_stage = "validate"
+
+
+class CompositionError(ReproError, ValueError):
+    """An ensemble could not be composed from the given profiles."""
+
+    default_stage = "compose"
+
+
+class ProfileConflictError(CompositionError):
+    """Profile ids collide or cannot be derived (bad ``metadata_key``)."""
+
+    default_stage = "compose"

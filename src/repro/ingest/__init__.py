@@ -1,0 +1,25 @@
+"""``repro.ingest`` — fault-tolerant campaign ingestion.
+
+The campaign-scale loading path: schema validation, per-profile error
+policies (``strict``/``skip``/``collect``), transient-I/O retry, and
+quarantine reporting.  See :func:`load_ensemble`.
+"""
+
+from .pipeline import ERROR_POLICIES, load_ensemble
+from .report import (
+    IngestReport,
+    IngestResult,
+    QuarantinedProfile,
+    RepairedProfileId,
+)
+from .schema import validate_cali_payload
+
+__all__ = [
+    "load_ensemble",
+    "ERROR_POLICIES",
+    "IngestReport",
+    "IngestResult",
+    "QuarantinedProfile",
+    "RepairedProfileId",
+    "validate_cali_payload",
+]

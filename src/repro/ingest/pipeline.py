@@ -1,0 +1,288 @@
+"""Fault-tolerant ensemble ingestion (read → validate → build → compose).
+
+``load_ensemble`` is the campaign-scale loading path: where
+``Thicket.from_caliperreader`` historically aborted a 1,900-profile
+composition on the first truncated file, this pipeline pushes every
+profile through four stages and applies a per-profile *error policy*:
+
+``strict``
+    Raise the first typed error (:class:`repro.errors.ReproError`
+    subclass naming the offending file and stage).  The default, and
+    the old behaviour — minus the raw ``KeyError``.
+``skip``
+    Drop bad profiles, emitting a ``warnings.warn`` per drop, and
+    compose the rest.
+``collect``
+    Drop bad profiles silently and return a structured
+    :class:`IngestReport` attributing every quarantined profile to its
+    exception, stage, and source.
+
+Transient I/O errors (``OSError`` other than a missing file) are
+retried with bounded exponential backoff before the profile is given
+up on.  Colliding profile ids are repaired deterministically under
+``skip``/``collect`` (and recorded in the report) instead of aborting
+the whole ensemble.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+import warnings
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from ..errors import (
+    CompositionError,
+    ProfileConflictError,
+    ReaderError,
+    ReproError,
+)
+from ..graph import GraphFrame
+from ..readers.caliper import read_cali_dict
+from .report import (
+    IngestReport,
+    IngestResult,
+    QuarantinedProfile,
+    RepairedProfileId,
+)
+from .schema import validate_cali_payload
+
+__all__ = ["load_ensemble", "ERROR_POLICIES"]
+
+ERROR_POLICIES = ("strict", "skip", "collect")
+
+
+def _read_text(path: Path) -> str:
+    """Read a profile file; module-level so tests can inject faults."""
+    return path.read_text()
+
+
+def _read_with_retry(path: Path, max_retries: int, base_delay: float,
+                     sleep) -> str:
+    """Read *path*, retrying transient ``OSError`` with backoff.
+
+    A missing file is permanent and is never retried.
+    """
+    attempt = 0
+    while True:
+        try:
+            return _read_text(path)
+        except FileNotFoundError as e:
+            raise ReaderError(f"profile file not found: {path}",
+                              source=path) from e
+        except OSError as e:
+            if attempt >= max_retries:
+                raise ReaderError(
+                    f"I/O error reading {path} after {attempt + 1} "
+                    f"attempt(s): {e}", source=path) from e
+            sleep(base_delay * (2 ** attempt))
+            attempt += 1
+
+
+def _source_label(src: Any, index: int) -> str:
+    if isinstance(src, GraphFrame):
+        return str(src.metadata.get("profile.file",
+                                    f"<graphframe #{index}>"))
+    if isinstance(src, Mapping):
+        return f"<payload #{index}>"
+    return str(src)
+
+
+def _load_one(src: Any, index: int, validate: bool, max_retries: int,
+              base_delay: float, sleep) -> GraphFrame:
+    """Run one source through read → validate → build.
+
+    Raises only :class:`ReproError` subclasses.
+    """
+    if isinstance(src, GraphFrame):
+        return src
+
+    source = _source_label(src, index)
+    if isinstance(src, Mapping):
+        payload: Any = src
+    else:
+        text = _read_with_retry(Path(src), max_retries, base_delay, sleep)
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as e:
+            raise ReaderError(f"invalid JSON in {source}: {e}",
+                              source=source) from e
+
+    if validate:
+        validate_cali_payload(payload, source=source)
+    try:
+        gf = read_cali_dict(payload, source=source)
+    except ReproError:
+        raise
+    except (KeyError, IndexError, TypeError, ValueError, AttributeError) as e:
+        # belt and braces: nothing structural may escape untyped
+        raise ReaderError(
+            f"failed to build call tree from {source}: "
+            f"{type(e).__name__}: {e}", source=source, stage="build") from e
+    if not isinstance(src, (GraphFrame, Mapping)):
+        gf.metadata.setdefault("profile.file", str(src))
+    return gf
+
+
+def _repair_id(pid: Any, occurrence: int) -> Any:
+    """Deterministic replacement id for the *occurrence*-th collision."""
+    if isinstance(pid, (int, np.integer)) and not isinstance(pid, bool):
+        digest = hashlib.sha256(f"{pid}:{occurrence}".encode()).digest()
+        return int.from_bytes(digest[:8], "big", signed=True)
+    return f"{pid}#{occurrence}"
+
+
+def _derive_profile_ids(gfs, sources, metadata_key, on_error, report):
+    """Profile id per GraphFrame; collisions repaired or raised.
+
+    Returns ``(kept_gfs, kept_sources, profile_ids)`` — under non-strict
+    policies a profile whose id cannot be derived is quarantined here
+    (stage ``compose``) rather than aborting the ensemble.
+    """
+    from ..core.thicket import profile_hash
+
+    kept_gfs, kept_sources, ids = [], [], []
+    for (idx, source), gf in zip(sources, gfs):
+        try:
+            if metadata_key is not None:
+                if metadata_key not in gf.metadata:
+                    raise ProfileConflictError(
+                        f"metadata_key {metadata_key!r} missing from "
+                        f"profile #{idx} ({source})", source=source)
+                pid = gf.metadata[metadata_key]
+            else:
+                pid = profile_hash(gf.metadata)
+        except ReproError as e:
+            if on_error == "strict":
+                raise
+            if on_error == "skip":
+                warnings.warn(f"skipping profile: {e}", stacklevel=3)
+            report.quarantined.append(
+                QuarantinedProfile(source=source, stage=e.stage,
+                                   error=e, index=idx))
+            continue
+        kept_gfs.append(gf)
+        kept_sources.append((idx, source))
+        ids.append(pid)
+
+    seen: dict[Any, int] = {}
+    final_ids = []
+    for (idx, source), pid in zip(kept_sources, ids):
+        if pid in seen:
+            if on_error == "strict":
+                first = kept_sources[seen[pid]][1]
+                raise ProfileConflictError(
+                    f"profile id {pid!r} of {source} collides with "
+                    f"{first}; choose a different metadata_key or use "
+                    f"on_error='skip'/'collect'", source=source)
+            occurrence = 1
+            new = _repair_id(pid, occurrence)
+            while new in seen or new in ids:
+                occurrence += 1
+                new = _repair_id(pid, occurrence)
+            report.repaired.append(
+                RepairedProfileId(source=source, original=pid, repaired=new))
+            pid = new
+        seen[pid] = len(final_ids)
+        final_ids.append(pid)
+    return kept_gfs, kept_sources, final_ids
+
+
+def load_ensemble(sources: Iterable[Any] | Any,
+                  on_error: str = "strict",
+                  metadata_key: str | None = None,
+                  intersection: bool = False,
+                  fill_perfdata: bool = False,
+                  validate: bool = True,
+                  max_retries: int = 2,
+                  retry_base_delay: float = 0.05,
+                  sleep=None) -> IngestResult:
+    """Compose an ensemble of cali-JSON profiles fault-tolerantly.
+
+    Parameters
+    ----------
+    sources:
+        File paths, payload dicts, and/or GraphFrames (mixed is fine).
+    on_error:
+        ``"strict"`` (raise first error), ``"skip"`` (drop + warn), or
+        ``"collect"`` (drop silently, attribute in the report).
+    metadata_key / intersection / fill_perfdata:
+        As :meth:`repro.core.Thicket.from_caliperreader`.
+    validate:
+        Run full schema validation before graph construction
+        (disable only for trusted, already-validated payloads).
+    max_retries / retry_base_delay:
+        Bounded exponential backoff for transient ``OSError`` while
+        reading profile files.
+    sleep:
+        Injectable sleep function (testing); defaults to ``time.sleep``.
+
+    Returns
+    -------
+    IngestResult
+        ``(thicket, report)``; ``thicket`` is ``None`` when nothing
+        was loadable under a non-strict policy.
+    """
+    from ..core.thicket import Thicket
+
+    if on_error not in ERROR_POLICIES:
+        raise ValueError(
+            f"on_error must be one of {ERROR_POLICIES}, got {on_error!r}")
+    if sleep is None:
+        sleep = time.sleep
+    if isinstance(sources, (str, Path, GraphFrame, Mapping)):
+        sources = [sources]
+    sources = list(sources)
+    report = IngestReport(policy=on_error, requested=len(sources))
+    if not sources:
+        raise CompositionError("no profiles given")
+
+    gfs: list[GraphFrame] = []
+    labelled: list[tuple[int, str]] = []
+    for idx, src in enumerate(sources):
+        source = _source_label(src, idx)
+        try:
+            gf = _load_one(src, idx, validate, max_retries,
+                           retry_base_delay, sleep)
+        except ReproError as e:
+            if on_error == "strict":
+                raise
+            if on_error == "skip":
+                warnings.warn(f"skipping profile: {e}", stacklevel=2)
+            report.quarantined.append(
+                QuarantinedProfile(source=source, stage=e.stage,
+                                   error=e, index=idx))
+            continue
+        gfs.append(gf)
+        labelled.append((idx, source))
+
+    gfs, labelled, profile_ids = _derive_profile_ids(
+        gfs, labelled, metadata_key, on_error, report)
+
+    report.loaded = [source for _, source in labelled]
+    if not gfs:
+        if on_error == "strict":
+            raise CompositionError("no profiles could be loaded")
+        return IngestResult(None, report)
+
+    provenance = {
+        "ingest_policy": on_error,
+        "dropped_profiles": [
+            {"source": q.source, "stage": q.stage,
+             "error_type": q.error_type, "error": str(q.error)}
+            for q in report.quarantined
+        ],
+        "repaired_profile_ids": [
+            {"source": r.source, "original": r.original,
+             "repaired": r.repaired}
+            for r in report.repaired
+        ],
+    }
+    tk = Thicket._compose(gfs, profile_ids, intersection=intersection,
+                          fill_perfdata=fill_perfdata,
+                          provenance=provenance)
+    return IngestResult(tk, report)

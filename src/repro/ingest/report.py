@@ -1,0 +1,123 @@
+"""Structured results of a fault-tolerant ensemble ingestion.
+
+``load_ensemble`` never swallows a failure: every profile it drops is
+recorded as a :class:`QuarantinedProfile` (source, pipeline stage, and
+the typed exception), and every profile-id collision it repairs is
+recorded as a :class:`RepairedProfileId`.  The :class:`IngestReport`
+aggregates these into something a human can read (``summary()``) and a
+script can act on (``to_dict()``, exit-code-ready ``ok``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, NamedTuple
+
+from ..errors import ReproError
+
+__all__ = ["QuarantinedProfile", "RepairedProfileId", "IngestReport",
+           "IngestResult"]
+
+
+@dataclass(frozen=True)
+class QuarantinedProfile:
+    """One profile dropped from the ensemble, with full attribution."""
+
+    source: str            # file path / positional label of the input
+    stage: str             # pipeline stage that failed: read/validate/build/compose
+    error: ReproError      # the typed exception (never a bare KeyError)
+    index: int             # position of the profile in the input sequence
+
+    @property
+    def error_type(self) -> str:
+        return type(self.error).__name__
+
+    def describe(self) -> str:
+        return (f"{self.source} [{self.stage}] "
+                f"{self.error_type}: {self.error}")
+
+
+@dataclass(frozen=True)
+class RepairedProfileId:
+    """A deterministically repaired profile-id collision."""
+
+    source: str
+    original: Any
+    repaired: Any
+
+    def describe(self) -> str:
+        return (f"{self.source}: profile id {self.original!r} collided, "
+                f"repaired to {self.repaired!r}")
+
+
+@dataclass
+class IngestReport:
+    """Outcome of one :func:`repro.ingest.load_ensemble` run."""
+
+    policy: str
+    requested: int = 0
+    loaded: list = field(default_factory=list)        # sources that made it in
+    quarantined: list = field(default_factory=list)   # QuarantinedProfile
+    repaired: list = field(default_factory=list)      # RepairedProfileId
+
+    @property
+    def n_loaded(self) -> int:
+        return len(self.loaded)
+
+    @property
+    def n_quarantined(self) -> int:
+        return len(self.quarantined)
+
+    @property
+    def ok(self) -> bool:
+        """True iff every requested profile composed cleanly."""
+        return not self.quarantined and not self.repaired
+
+    def errors_by_stage(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for q in self.quarantined:
+            out[q.stage] = out.get(q.stage, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        """Human-readable quarantine summary (one profile per line)."""
+        lines = [
+            f"ingest: {self.n_loaded}/{self.requested} profiles loaded "
+            f"(policy={self.policy}, quarantined={self.n_quarantined}, "
+            f"repaired ids={len(self.repaired)})"
+        ]
+        for q in self.quarantined:
+            lines.append(f"  - {q.describe()}")
+        for r in self.repaired:
+            lines.append(f"  ~ {r.describe()}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form for scripted consumers."""
+        return {
+            "policy": self.policy,
+            "requested": self.requested,
+            "loaded": [str(s) for s in self.loaded],
+            "quarantined": [
+                {"source": q.source, "stage": q.stage,
+                 "error_type": q.error_type, "error": str(q.error),
+                 "index": q.index}
+                for q in self.quarantined
+            ],
+            "repaired": [
+                {"source": r.source, "original": repr(r.original),
+                 "repaired": repr(r.repaired)}
+                for r in self.repaired
+            ],
+        }
+
+
+class IngestResult(NamedTuple):
+    """``(thicket, report)`` pair returned by ``load_ensemble``.
+
+    ``thicket`` is ``None`` when no profile survived under a
+    non-strict policy.
+    """
+
+    thicket: Any
+    report: IngestReport

@@ -1,12 +1,15 @@
 """``repro.workloads`` — synthetic case-study workloads (§5 substitutes)."""
 
 from .campaign import (
+    CORRUPTION_MODES,
     MARBL_CAMPAIGN,
     RAJA_CAMPAIGN,
     MarblConfig,
     RajaConfig,
+    corrupt_campaign,
     iter_marbl_profiles,
     iter_raja_profiles,
+    load_campaign,
     marbl_campaign_table,
     raja_campaign_table,
     write_marbl_campaign,
@@ -55,4 +58,5 @@ __all__ = [
     "iter_raja_profiles", "write_raja_campaign",
     "MarblConfig", "MARBL_CAMPAIGN", "marbl_campaign_table",
     "iter_marbl_profiles", "write_marbl_campaign",
+    "load_campaign", "corrupt_campaign", "CORRUPTION_MODES",
 ]

@@ -10,6 +10,8 @@ RAJA campaign.
 
 from __future__ import annotations
 
+import json
+import random
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Sequence
@@ -36,6 +38,9 @@ __all__ = [
     "marbl_campaign_table",
     "iter_marbl_profiles",
     "write_marbl_campaign",
+    "load_campaign",
+    "corrupt_campaign",
+    "CORRUPTION_MODES",
 ]
 
 _DEFAULT_SIZES = (1048576, 2097152, 4194304, 8388608)
@@ -198,3 +203,114 @@ def write_marbl_campaign(out_dir: str | Path,
                 f"_r{g['rep']}_{i:04d}.json")
         paths.append(write_cali_json(profile, out_dir / name))
     return paths
+
+
+# ----------------------------------------------------------------------
+# fault-tolerant campaign loading and deterministic fault injection
+# ----------------------------------------------------------------------
+
+def load_campaign(profile_dir: str | Path, on_error: str = "collect",
+                  pattern: str = "*.json", **kwargs):
+    """Load every profile of a written campaign fault-tolerantly.
+
+    Globs *pattern* under *profile_dir* and runs the files through
+    :func:`repro.ingest.load_ensemble`; with the default
+    ``on_error="collect"`` a campaign with a few truncated or
+    schema-drifted files still composes, and the returned
+    ``IngestReport`` attributes every quarantined profile.
+
+    Returns the ``(thicket, report)`` :class:`~repro.ingest.IngestResult`.
+    """
+    from ..ingest import load_ensemble
+
+    paths = sorted(Path(profile_dir).glob(pattern))
+    if not paths:
+        from ..errors import CompositionError
+
+        raise CompositionError(
+            f"no {pattern} profiles found in {profile_dir}",
+            source=profile_dir)
+    return load_ensemble(paths, on_error=on_error, **kwargs)
+
+
+def _corrupt_truncate(path: Path, rng: random.Random) -> None:
+    text = path.read_text()
+    path.write_text(text[: max(1, len(text) // 2)])
+
+
+def _corrupt_not_json(path: Path, rng: random.Random) -> None:
+    path.write_text("this is not json at all\n")
+
+
+def _corrupt_drop_section(path: Path, rng: random.Random) -> None:
+    payload = json.loads(path.read_text())
+    section = rng.choice(["nodes", "columns", "data"])
+    payload.pop(section, None)
+    path.write_text(json.dumps(payload))
+
+
+def _corrupt_bad_cell_type(path: Path, rng: random.Random) -> None:
+    payload = json.loads(path.read_text())
+    data = payload.get("data") or [[None, None]]
+    row = rng.randrange(len(data))
+    if len(data[row]) > 1:
+        data[row][1] = "<<not a number>>"
+    payload["data"] = data
+    path.write_text(json.dumps(payload))
+
+
+def _corrupt_dangling_parent(path: Path, rng: random.Random) -> None:
+    payload = json.loads(path.read_text())
+    nodes = payload.get("nodes") or [{}]
+    nodes[-1]["parent"] = 10 ** 6
+    payload["nodes"] = nodes
+    path.write_text(json.dumps(payload))
+
+
+def _corrupt_duplicate_row(path: Path, rng: random.Random) -> None:
+    payload = json.loads(path.read_text())
+    data = payload.get("data")
+    if data:
+        data.append(list(data[0]))
+    path.write_text(json.dumps(payload))
+
+
+CORRUPTION_MODES = {
+    "truncate": _corrupt_truncate,
+    "not_json": _corrupt_not_json,
+    "drop_section": _corrupt_drop_section,
+    "bad_cell_type": _corrupt_bad_cell_type,
+    "dangling_parent": _corrupt_dangling_parent,
+    "duplicate_row": _corrupt_duplicate_row,
+}
+
+
+def corrupt_campaign(paths: Sequence[str | Path], fraction: float = 0.05,
+                     seed: int = 0,
+                     modes: Sequence[str] | None = None) -> list[Path]:
+    """Deterministically corrupt a fraction of written campaign files.
+
+    Picks ``round(len(paths) * fraction)`` files with
+    ``random.Random(seed)`` and cycles through *modes* (default: every
+    mode in :data:`CORRUPTION_MODES`), overwriting each victim in
+    place.  Returns the corrupted paths — the ground truth a
+    fault-injection test or benchmark checks the
+    :class:`~repro.ingest.IngestReport` against.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction {fraction} outside [0, 1]")
+    mode_names = list(modes or CORRUPTION_MODES)
+    unknown = [m for m in mode_names if m not in CORRUPTION_MODES]
+    if unknown:
+        raise ValueError(f"unknown corruption mode(s): {unknown}")
+    paths = [Path(p) for p in paths]
+    rng = random.Random(seed)
+    n_bad = int(round(len(paths) * fraction))
+    victims = sorted(rng.sample(range(len(paths)), n_bad))
+    corrupted = []
+    for k, i in enumerate(victims):
+        mode = mode_names[k % len(mode_names)]
+        CORRUPTION_MODES[mode](paths[i], rng)
+        corrupted.append(paths[i])
+    return corrupted
+

@@ -108,3 +108,76 @@ class TestModelScaling:
     def test_raja_summarize(self, raja_dir, capsys):
         assert main(["summarize", raja_dir]) == 0
         assert "time (exc)" in capsys.readouterr().out
+
+
+class TestErrorPolicyFlag:
+    @pytest.fixture
+    def dirty_dir(self, tmp_path):
+        """A small campaign with one corrupt profile."""
+        from repro.workloads import write_marbl_campaign
+
+        paths = write_marbl_campaign(tmp_path, scale=0.2)
+        paths[0].write_text("not json at all")
+        return str(tmp_path)
+
+    def test_strict_default_exits_2(self, dirty_dir, capsys):
+        rc = main(["summarize", dirty_dir])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "ReaderError" in err
+
+    def test_collect_partial_exits_3_with_summary(self, dirty_dir, capsys):
+        rc = main(["summarize", dirty_dir, "--on-error", "collect"])
+        assert rc == 3
+        captured = capsys.readouterr()
+        assert "profiles : 11" in captured.out
+        assert "11/12 profiles loaded" in captured.err
+        assert "ReaderError" in captured.err
+
+    def test_skip_also_composes(self, dirty_dir, capsys):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            rc = main(["summarize", dirty_dir, "--on-error", "skip"])
+        assert rc == 3
+
+    def test_clean_dir_stays_exit_0(self, marbl_dir):
+        assert main(["summarize", marbl_dir, "--on-error", "collect"]) == 0
+
+
+class TestIngestCommand:
+    def test_ingest_clean(self, marbl_dir, capsys):
+        assert main(["ingest", marbl_dir]) == 0
+        out = capsys.readouterr().out
+        assert "12/12 profiles loaded" in out
+        assert "composed: Thicket" in out
+
+    def test_ingest_dirty_collect(self, tmp_path, capsys):
+        from repro.workloads import write_marbl_campaign
+
+        paths = write_marbl_campaign(tmp_path, scale=0.2)
+        paths[0].write_text("{broken")
+        rc = main(["ingest", str(tmp_path), "--on-error", "collect"])
+        assert rc == 3
+        assert "11/12 profiles loaded" in capsys.readouterr().out
+
+    def test_ingest_json_report(self, tmp_path, capsys):
+        import json
+
+        from repro.workloads import write_marbl_campaign
+
+        paths = write_marbl_campaign(tmp_path, scale=0.2)
+        paths[0].write_text("{broken")
+        rc = main(["ingest", str(tmp_path), "--on-error", "collect",
+                   "--json"])
+        assert rc == 3
+        report = json.loads(capsys.readouterr().out)
+        assert report["policy"] == "collect"
+        assert len(report["quarantined"]) == 1
+        assert report["quarantined"][0]["error_type"] == "ReaderError"
+
+    def test_ingest_nothing_loadable_exits_2(self, tmp_path, capsys):
+        (tmp_path / "only.json").write_text("junk")
+        rc = main(["ingest", str(tmp_path), "--on-error", "collect"])
+        assert rc == 2

@@ -60,8 +60,12 @@ class TestConstruction:
             Thicket.from_caliperreader(gfs, metadata_key="problem_size")
 
     def test_missing_metadata_key(self, profile_files):
-        with pytest.raises(KeyError):
+        from repro.errors import ProfileConflictError
+
+        with pytest.raises(ProfileConflictError) as exc:
             Thicket.from_caliperreader(profile_files, metadata_key="ghost")
+        # the error names the offending profile, not just the key
+        assert str(profile_files[0]) in str(exc.value)
 
     def test_empty_sources_rejected(self):
         with pytest.raises(ValueError):
