@@ -20,4 +20,39 @@ echo "== ingestion benchmark smoke =="
 python -m pytest benchmarks/bench_ingest_faulty.py -q \
     --benchmark-disable
 
+echo "== observability smoke (traced ingest + repro obs) =="
+# Trace a small campaign ingest end to end, then validate the emitted
+# Chrome trace with the obs subcommand and the Thicket round-trip.
+# TRACE_OUT can be pointed at a CI workspace path for artifact upload.
+TRACE_OUT="${TRACE_OUT:-$(pwd)/trace-smoke.json}"
+OBS_CAMPAIGN=$(mktemp -d)
+trap 'rm -rf "$OBS_CAMPAIGN"' EXIT
+python - "$OBS_CAMPAIGN" <<'PY'
+import sys
+from pathlib import Path
+
+from repro.caliper import write_cali_json
+from repro.workloads import QUARTZ, generate_rajaperf_profile
+
+out = Path(sys.argv[1])
+for i in range(8):
+    prof = generate_rajaperf_profile(
+        QUARTZ, 1048576 * (1 + i % 2),
+        kernels=["Stream_DOT", "Apps_VOL3D"], seed=900 + i,
+        metadata={"rep": i})
+    write_cali_json(prof, out / f"p{i}.json")
+PY
+python -m repro --trace "$TRACE_OUT" --log-level info \
+    ingest "$OBS_CAMPAIGN"
+python -m repro obs "$TRACE_OUT" --tree
+python - "$TRACE_OUT" <<'PY'
+import sys
+
+import repro.obs as obs
+
+tk = obs.to_thicket(sys.argv[1])
+assert "ingest.load_ensemble" in {n.frame.name for n in tk.graph.traverse()}
+print(f"trace round-trips as {tk}")
+PY
+
 echo "== all checks passed =="

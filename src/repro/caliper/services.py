@@ -38,12 +38,20 @@ class MetricService:
 
 
 class TimerService(MetricService):
-    """Wall-clock time in seconds under the Caliper metric name."""
+    """Wall-clock time in seconds under the Caliper metric name.
+
+    The monotonic clock is injectable (as in
+    :class:`repro.caliper.adiak.AdiakCollector`) so tests can drive
+    deterministic timings; it defaults to ``time.perf_counter``.
+    """
 
     metric = "time (exc)"
 
+    def __init__(self, clock: Callable[[], float] | None = None):
+        self._clock = clock or time.perf_counter
+
     def snapshot(self) -> dict[str, float]:
-        return {self.metric: time.perf_counter()}
+        return {self.metric: self._clock()}
 
     def metadata(self) -> dict[str, Any]:
         return {

@@ -15,10 +15,28 @@ the "quick look before opening a notebook" path::
     python -m repro scaling    profiles/ --node timeStepLoop \
                                --metric "time per cycle (inc)"
     python -m repro ingest     profiles/ --on-error collect
+    python -m repro --trace trace.json ingest profiles/
+    python -m repro obs        trace.json --tree
 
 Every subcommand takes ``--on-error {strict,skip,collect}`` (default
 ``strict``): ``skip``/``collect`` quarantine corrupt profiles instead
 of aborting, printing a human-readable quarantine summary on stderr.
+
+Self-instrumentation (``repro.obs``) is surfaced through three global
+flags, accepted both before and after the subcommand name:
+
+``--trace PATH``
+    Record spans for the whole command and write a trace file on exit
+    (Chrome ``trace_event`` JSON by default, JSONL when *PATH* ends in
+    ``.jsonl``).  Load it in Perfetto, summarize it with
+    ``repro obs PATH``, or analyze it with ``repro.obs.to_thicket``.
+``--metrics``
+    Enable telemetry and print the span summary table plus the metrics
+    registry to stderr when the command finishes.
+``--log-level LEVEL``
+    Configure the ``repro.*`` structured-logging hierarchy
+    (debug/info/warning/error); the ingest pipeline logs retries and
+    quarantined profiles through it.
 
 Exit codes: 0 success; 1 command-level failure (e.g. no query match);
 2 ingestion failed (strict error, or nothing loadable); 3 partial
@@ -182,11 +200,75 @@ def _cmd_ingest(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    """Summarize a trace file recorded with ``--trace``."""
+    import json as json_mod
+
+    from . import obs
+
+    path = Path(args.tracefile)
+    if not path.exists():
+        raise SystemExit(f"no such trace file: {path}")
+    roots, metrics = obs.load_trace(path)
+    if not roots:
+        print(f"{path}: no completed spans", file=sys.stderr)
+        return 1
+    if args.json:
+        doc = {
+            "roots": len(roots),
+            "spans": sum(1 for r in roots for _ in r.walk()),
+            "wall_seconds": round(sum(r.duration for r in roots), 6),
+            "metrics": metrics,
+        }
+        print(json_mod.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    print(obs.summarize_spans(roots, limit=args.limit))
+    if metrics:
+        snapshot = obs.MetricsRegistry()
+        for name, value in (metrics.get("counters") or {}).items():
+            snapshot.increment(name, value)
+        for name, value in (metrics.get("gauges") or {}).items():
+            snapshot.set_gauge(name, value)
+        print()
+        print(snapshot.summary())
+    if args.tree:
+        tk = obs.to_thicket(roots, metrics=metrics)
+        print()
+        print(tk.tree(metric_column=args.metric, precision=args.precision))
+    return 0
+
+
+def _add_obs_flags(parser, suppress: bool = False,
+                   include_metrics: bool = True) -> None:
+    """Observability flags; on subparsers the defaults are SUPPRESS so a
+    value parsed at the root (``repro --trace x ingest ...``) is not
+    clobbered when the flag is omitted after the subcommand.
+
+    ``include_metrics=False`` is for subcommands whose own options
+    already claim ``--metrics`` (e.g. ``stats``); there the telemetry
+    flag is still accepted in the root position.
+    """
+    default = argparse.SUPPRESS if suppress else None
+    parser.add_argument("--trace", metavar="PATH", default=default,
+                        help="record spans and write a trace file on exit "
+                             "(Chrome trace_event JSON; *.jsonl for the "
+                             "line-oriented format)")
+    if include_metrics:
+        parser.add_argument(
+            "--metrics", dest="obs_metrics", action="store_true",
+            default=argparse.SUPPRESS if suppress else False,
+            help="print span/metric summaries to stderr on exit")
+    parser.add_argument("--log-level", dest="log_level", default=default,
+                        choices=["debug", "info", "warning", "error"],
+                        help="configure the repro.* logger hierarchy")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Exploratory analysis of call-tree profile ensembles "
                     "(Thicket reproduction)")
+    _add_obs_flags(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add(name, fn, help_text):
@@ -197,6 +279,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-profile error policy: strict aborts on the "
                             "first bad profile, skip/collect quarantine bad "
                             "profiles and compose the rest")
+        _add_obs_flags(p, suppress=True,
+                       include_metrics=(name != "stats"))
         p.set_defaults(fn=fn)
         return p
 
@@ -239,18 +323,72 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metric", required=True)
     p.add_argument("--resource", default="numhosts")
 
+    p = sub.add_parser("obs", help="summarize a --trace file "
+                                   "(span table, metrics, span tree)")
+    p.add_argument("tracefile", help="trace file written by --trace "
+                                     "(Chrome trace_event JSON or JSONL)")
+    p.add_argument("--tree", action="store_true",
+                   help="load the trace as a Thicket and render the "
+                        "span tree")
+    p.add_argument("--metric", default="time (inc)",
+                   help="metric column for --tree (default: time (inc))")
+    p.add_argument("--precision", type=int, default=3)
+    p.add_argument("--limit", type=int, default=None,
+                   help="show only the top N span names by total wall")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable trace summary")
+    _add_obs_flags(p, suppress=True)
+    p.set_defaults(fn=_cmd_obs)
+
     return parser
+
+
+def _finish_telemetry(args) -> None:
+    """Export the recorded trace / print metric summaries on exit."""
+    from . import obs
+
+    telemetry = obs.get_telemetry()
+    obs.disable()
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        path = Path(trace_path)
+        if path.suffix == ".jsonl":
+            obs.write_jsonl(telemetry, path)
+        else:
+            obs.write_chrome_trace(telemetry, path)
+        print(f"trace written to {path} "
+              f"({len(telemetry.finished_spans())} root span(s)); "
+              f"inspect with: repro obs {path}", file=sys.stderr)
+    if getattr(args, "obs_metrics", False):
+        print(obs.summarize_spans(telemetry), file=sys.stderr)
+        print(telemetry.metrics.summary(), file=sys.stderr)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     from .errors import ReproError
 
     args = build_parser().parse_args(argv)
+
+    log_level = getattr(args, "log_level", None)
+    if log_level:
+        from . import obs
+
+        obs.configure_logging(log_level)
+    tracing = bool(getattr(args, "trace", None)) or getattr(
+        args, "obs_metrics", False)
+    if tracing:
+        from . import obs
+
+        obs.reset()
+        obs.enable()
     try:
         rc = args.fn(args)
     except ReproError as e:
         print(f"error [{e.stage}]: {type(e).__name__}: {e}", file=sys.stderr)
         return EXIT_INGEST_FAILURE
+    finally:
+        if tracing:
+            _finish_telemetry(args)
     report = getattr(args, "_ingest_report", None)
     if rc == EXIT_OK and report is not None and report.quarantined:
         return EXIT_PARTIAL_INGEST

@@ -14,6 +14,8 @@ from typing import Any, Callable, Hashable, Sequence
 import numpy as np
 
 from ...frame.ops import numeric_values
+from ...obs import counter as obs_counter
+from ...obs import span as obs_span
 
 __all__ = ["apply_nodewise", "suffix_key", "resolve_columns", "grouped_values"]
 
@@ -45,6 +47,7 @@ def grouped_values(tk, column: Hashable,
     sparse partial-ensemble tables degrade gracefully instead of
     propagating ``inf`` through every reduction.
     """
+    obs_counter("stats.grouped_values")
     positions: dict[Any, list[int]] = {}
     for i, t in enumerate(tk.dataframe.index.values):
         positions.setdefault(t[0], []).append(i)
@@ -66,11 +69,13 @@ def apply_nodewise(tk, columns: Sequence[Hashable] | None, suffix: str,
     Returns the list of created statsframe column keys.
     """
     created = []
-    for col in resolve_columns(tk, columns):
-        _, arrays = grouped_values(tk, col)
-        out_key = suffix_key(col, suffix)
-        tk.statsframe[out_key] = [
-            reducer(a) if len(a) else float("nan") for a in arrays
-        ]
-        created.append(out_key)
+    cols = resolve_columns(tk, columns)
+    with obs_span("stats.apply_nodewise", stat=suffix, columns=len(cols)):
+        for col in cols:
+            _, arrays = grouped_values(tk, col)
+            out_key = suffix_key(col, suffix)
+            tk.statsframe[out_key] = [
+                reducer(a) if len(a) else float("nan") for a in arrays
+            ]
+            created.append(out_key)
     return created

@@ -14,6 +14,7 @@ from typing import Hashable, Sequence
 
 import numpy as np
 
+from ..obs import span as obs_span
 from .dataframe import DataFrame
 from .index import Index, MultiIndex, ensure_index
 
@@ -25,6 +26,12 @@ def concat_rows(frames: Sequence[DataFrame]) -> DataFrame:
     frames = [f for f in frames if f is not None]
     if not frames:
         return DataFrame()
+    with obs_span("frame.concat_rows", frames=len(frames),
+                  rows=sum(len(f) for f in frames)):
+        return _concat_rows(frames)
+
+
+def _concat_rows(frames: Sequence[DataFrame]) -> DataFrame:
     columns: dict[Hashable, None] = {}
     for f in frames:
         for c in f.columns:
@@ -101,7 +108,13 @@ def concat_columns(frames: Sequence[DataFrame],
         return DataFrame()
     if keys is not None and len(keys) != len(frames):
         raise ValueError("keys must match number of frames")
+    with obs_span("frame.concat_columns", frames=len(frames), join=join):
+        return _concat_columns(frames, keys, join)
 
+
+def _concat_columns(frames: Sequence[DataFrame],
+                    keys: Sequence[Hashable] | None,
+                    join: str) -> DataFrame:
     common = frames[0].index
     if join == "inner":
         for f in frames[1:]:

@@ -13,6 +13,7 @@ from typing import Any, Callable, Hashable, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from ..obs import span as obs_span
 from .dataframe import DataFrame
 from .index import Index, MultiIndex, sort_positions
 from .ops import resolve_aggregation
@@ -65,14 +66,18 @@ class GroupBy:
     def groups(self) -> dict[Any, np.ndarray]:
         """Mapping group key → row positions (insertion-ordered by key sort)."""
         if self._groups is None:
-            buckets: dict[Any, list[int]] = {}
-            for i, key in enumerate(self._key_values()):
-                buckets.setdefault(key, []).append(i)
-            order = sort_positions(list(buckets.keys()))
-            keys = list(buckets.keys())
-            self._groups = {
-                keys[i]: np.asarray(buckets[keys[i]], dtype=np.intp) for i in order
-            }
+            with obs_span("frame.groupby.partition",
+                          rows=len(self._df)) as s:
+                buckets: dict[Any, list[int]] = {}
+                for i, key in enumerate(self._key_values()):
+                    buckets.setdefault(key, []).append(i)
+                order = sort_positions(list(buckets.keys()))
+                keys = list(buckets.keys())
+                self._groups = {
+                    keys[i]: np.asarray(buckets[keys[i]], dtype=np.intp)
+                    for i in order
+                }
+                s.set("groups", len(self._groups))
         return self._groups
 
     def __len__(self) -> int:
@@ -119,10 +124,12 @@ class GroupBy:
 
         groups = self.groups
         keys = list(groups.keys())
-        out = DataFrame(index=self._result_index(keys))
-        for out_key, col, fn in spec:
-            values = df.column(col)
-            out[out_key] = [fn(values[pos]) for pos in groups.values()]
+        with obs_span("frame.groupby.agg", groups=len(keys),
+                      columns=len(spec)):
+            out = DataFrame(index=self._result_index(keys))
+            for out_key, col, fn in spec:
+                values = df.column(col)
+                out[out_key] = [fn(values[pos]) for pos in groups.values()]
         return out
 
     def _result_index(self, keys: list[Any]) -> Index:

@@ -12,6 +12,7 @@ from typing import Hashable, Sequence
 
 import numpy as np
 
+from ..obs import span as obs_span
 from .dataframe import DataFrame
 from .index import Index
 
@@ -21,6 +22,13 @@ __all__ = ["join_on_index", "merge"]
 def join_on_index(left: DataFrame, right: DataFrame, how: str = "inner",
                   lsuffix: str = "", rsuffix: str = "_right") -> DataFrame:
     """Join two frames on their (single-level or multi) row index."""
+    with obs_span("frame.join_on_index", how=how, left=len(left),
+                  right=len(right)):
+        return _join_on_index(left, right, how, lsuffix, rsuffix)
+
+
+def _join_on_index(left: DataFrame, right: DataFrame, how: str,
+                   lsuffix: str, rsuffix: str) -> DataFrame:
     if how == "inner":
         labels = left.index.intersection(right.index)
     elif how == "left":
@@ -57,6 +65,13 @@ def merge(left: DataFrame, right: DataFrame, on: Hashable | Sequence[Hashable],
     Implements a hash join: the right side is bucketed by key once,
     then left rows probe the buckets.  ``how`` supports inner/left.
     """
+    with obs_span("frame.merge", how=how, left=len(left),
+                  right=len(right)):
+        return _merge(left, right, on, how, suffixes)
+
+
+def _merge(left: DataFrame, right: DataFrame, on, how: str,
+           suffixes: tuple[str, str]) -> DataFrame:
     if isinstance(on, (str, tuple)):
         on = [on]
     on = list(on)

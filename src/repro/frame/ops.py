@@ -12,6 +12,13 @@ from typing import Any, Callable
 
 import numpy as np
 
+from ..obs.core import get_telemetry
+
+# Kernel-level call counters are too hot for spans; instead each call
+# does a single `enabled` check against the telemetry singleton and,
+# only when tracing, bumps a registry counter.
+_telemetry = get_telemetry()
+
 __all__ = [
     "is_missing",
     "coerce_column",
@@ -100,6 +107,8 @@ def numeric_values(values: np.ndarray, drop_missing: bool = True,
     sparse campaign table degrades to a missing value instead of
     poisoning every reduction over that node.
     """
+    if _telemetry.enabled:
+        _telemetry.metrics.increment("frame.ops.numeric_values")
     if values.dtype.kind in "ib":
         return values.astype(np.float64)
     if values.dtype.kind == "f":
@@ -178,6 +187,8 @@ AGGREGATIONS: dict[str, Callable[[np.ndarray], Any]] = {
 
 def resolve_aggregation(how: str | Callable) -> Callable[[np.ndarray], Any]:
     """Map an aggregation name or callable to a column kernel."""
+    if _telemetry.enabled:
+        _telemetry.metrics.increment("frame.ops.aggregations_resolved")
     if callable(how):
         return how
     try:

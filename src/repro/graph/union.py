@@ -11,6 +11,7 @@ both inputs.
 
 from __future__ import annotations
 
+from ..obs import span as obs_span
 from .graph import Graph
 from .node import Frame, Node
 
@@ -34,26 +35,29 @@ def union_many(graphs: list[Graph]) -> tuple[Graph, list[dict[Node, Node]]]:
     roots: list[Node] = []
     maps: list[dict[Node, Node]] = []
 
-    for graph in graphs:
-        mapping: dict[Node, Node] = {}
+    with obs_span("graph.union", graphs=len(graphs)) as s:
+        for graph in graphs:
+            mapping: dict[Node, Node] = {}
 
-        def visit(node: Node, parent_union: Node | None, path: tuple[Frame, ...]) -> None:
-            path = path + (node.frame,)
-            union_node = path_to_node.get(path)
-            if union_node is None:
-                union_node = Node(node.frame)
-                path_to_node[path] = union_node
-                if parent_union is None:
-                    roots.append(union_node)
-                else:
-                    parent_union.connect(union_node)
-            mapping[node] = union_node
-            for child in node.children:
-                visit(child, union_node, path)
+            def visit(node: Node, parent_union: Node | None,
+                      path: tuple[Frame, ...]) -> None:
+                path = path + (node.frame,)
+                union_node = path_to_node.get(path)
+                if union_node is None:
+                    union_node = Node(node.frame)
+                    path_to_node[path] = union_node
+                    if parent_union is None:
+                        roots.append(union_node)
+                    else:
+                        parent_union.connect(union_node)
+                mapping[node] = union_node
+                for child in node.children:
+                    visit(child, union_node, path)
 
-        for root in graph.roots:
-            visit(root, None, ())
-        maps.append(mapping)
+            for root in graph.roots:
+                visit(root, None, ())
+            maps.append(mapping)
 
-    union = Graph(roots)
+        union = Graph(roots)
+        s.set("union_nodes", len(path_to_node))
     return union, maps

@@ -28,8 +28,10 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import time
 import warnings
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Iterable, Mapping
 
@@ -42,6 +44,8 @@ from ..errors import (
     ReproError,
 )
 from ..graph import GraphFrame
+from ..obs import counter as obs_counter
+from ..obs import span as obs_span
 from ..readers.caliper import read_cali_dict
 from .report import (
     IngestReport,
@@ -54,6 +58,21 @@ from .schema import validate_cali_payload
 __all__ = ["load_ensemble", "ERROR_POLICIES"]
 
 ERROR_POLICIES = ("strict", "skip", "collect")
+
+logger = logging.getLogger("repro.ingest")
+
+
+@contextmanager
+def _timed(timings: dict[str, float], stage: str):
+    """Accumulate wall seconds for *stage*; always on (two clock reads
+    per stage are noise next to JSON parsing), independent of whether
+    span tracing is enabled."""
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        timings[stage] = (timings.get(stage, 0.0)
+                          + time.perf_counter() - t0)
 
 
 def _read_text(path: Path) -> str:
@@ -76,10 +95,19 @@ def _read_with_retry(path: Path, max_retries: int, base_delay: float,
                               source=path) from e
         except OSError as e:
             if attempt >= max_retries:
+                logger.error(
+                    "giving up on %s after %d attempt(s): %s",
+                    path, attempt + 1, e)
                 raise ReaderError(
                     f"I/O error reading {path} after {attempt + 1} "
                     f"attempt(s): {e}", source=path) from e
-            sleep(base_delay * (2 ** attempt))
+            delay = base_delay * (2 ** attempt)
+            logger.warning(
+                "transient I/O error reading %s (attempt %d/%d): %s; "
+                "retrying in %.3fs", path, attempt + 1, max_retries + 1,
+                e, delay)
+            obs_counter("ingest.read.retries")
+            sleep(delay)
             attempt += 1
 
 
@@ -93,10 +121,12 @@ def _source_label(src: Any, index: int) -> str:
 
 
 def _load_one(src: Any, index: int, validate: bool, max_retries: int,
-              base_delay: float, sleep) -> GraphFrame:
+              base_delay: float, sleep,
+              timings: dict[str, float]) -> GraphFrame:
     """Run one source through read → validate → build.
 
-    Raises only :class:`ReproError` subclasses.
+    Raises only :class:`ReproError` subclasses.  Per-stage wall time
+    accumulates into *timings* (keys ``read``/``validate``/``build``).
     """
     if isinstance(src, GraphFrame):
         return src
@@ -105,24 +135,32 @@ def _load_one(src: Any, index: int, validate: bool, max_retries: int,
     if isinstance(src, Mapping):
         payload: Any = src
     else:
-        text = _read_with_retry(Path(src), max_retries, base_delay, sleep)
-        try:
-            payload = json.loads(text)
-        except json.JSONDecodeError as e:
-            raise ReaderError(f"invalid JSON in {source}: {e}",
-                              source=source) from e
+        with _timed(timings, "read"), obs_span("ingest.read",
+                                               source=source):
+            text = _read_with_retry(Path(src), max_retries, base_delay,
+                                    sleep)
+            try:
+                payload = json.loads(text)
+            except json.JSONDecodeError as e:
+                raise ReaderError(f"invalid JSON in {source}: {e}",
+                                  source=source) from e
 
     if validate:
-        validate_cali_payload(payload, source=source)
-    try:
-        gf = read_cali_dict(payload, source=source)
-    except ReproError:
-        raise
-    except (KeyError, IndexError, TypeError, ValueError, AttributeError) as e:
-        # belt and braces: nothing structural may escape untyped
-        raise ReaderError(
-            f"failed to build call tree from {source}: "
-            f"{type(e).__name__}: {e}", source=source, stage="build") from e
+        with _timed(timings, "validate"), obs_span("ingest.validate",
+                                                   source=source):
+            validate_cali_payload(payload, source=source)
+    with _timed(timings, "build"), obs_span("ingest.build", source=source):
+        try:
+            gf = read_cali_dict(payload, source=source)
+        except ReproError:
+            raise
+        except (KeyError, IndexError, TypeError, ValueError,
+                AttributeError) as e:
+            # belt and braces: nothing structural may escape untyped
+            raise ReaderError(
+                f"failed to build call tree from {source}: "
+                f"{type(e).__name__}: {e}", source=source,
+                stage="build") from e
     if not isinstance(src, (GraphFrame, Mapping)):
         gf.metadata.setdefault("profile.file", str(src))
     return gf
@@ -161,6 +199,9 @@ def _derive_profile_ids(gfs, sources, metadata_key, on_error, report):
                 raise
             if on_error == "skip":
                 warnings.warn(f"skipping profile: {e}", stacklevel=3)
+            logger.warning("quarantined profile %s [compose]: %s: %s",
+                           source, type(e).__name__, e)
+            obs_counter("ingest.profiles.quarantined")
             report.quarantined.append(
                 QuarantinedProfile(source=source, stage=e.stage,
                                    error=e, index=idx))
@@ -184,6 +225,9 @@ def _derive_profile_ids(gfs, sources, metadata_key, on_error, report):
             while new in seen or new in ids:
                 occurrence += 1
                 new = _repair_id(pid, occurrence)
+            logger.warning("profile id %r of %s collided; repaired to %r",
+                           pid, source, new)
+            obs_counter("ingest.profile_ids.repaired")
             report.repaired.append(
                 RepairedProfileId(source=source, original=pid, repaired=new))
             pid = new
@@ -241,48 +285,70 @@ def load_ensemble(sources: Iterable[Any] | Any,
     if not sources:
         raise CompositionError("no profiles given")
 
-    gfs: list[GraphFrame] = []
-    labelled: list[tuple[int, str]] = []
-    for idx, src in enumerate(sources):
-        source = _source_label(src, idx)
-        try:
-            gf = _load_one(src, idx, validate, max_retries,
-                           retry_base_delay, sleep)
-        except ReproError as e:
+    timings = report.stage_seconds
+    with obs_span("ingest.load_ensemble", profiles=len(sources),
+                  policy=on_error) as top:
+        logger.info("ingesting %d profile(s) (policy=%s, validate=%s)",
+                    len(sources), on_error, validate)
+        gfs: list[GraphFrame] = []
+        labelled: list[tuple[int, str]] = []
+        for idx, src in enumerate(sources):
+            source = _source_label(src, idx)
+            try:
+                with obs_span("ingest.profile", source=source):
+                    gf = _load_one(src, idx, validate, max_retries,
+                                   retry_base_delay, sleep, timings)
+            except ReproError as e:
+                if on_error == "strict":
+                    raise
+                if on_error == "skip":
+                    warnings.warn(f"skipping profile: {e}", stacklevel=2)
+                logger.warning("quarantined profile %s [%s]: %s: %s",
+                               source, e.stage, type(e).__name__, e)
+                obs_counter("ingest.profiles.quarantined")
+                report.quarantined.append(
+                    QuarantinedProfile(source=source, stage=e.stage,
+                                       error=e, index=idx))
+                continue
+            gfs.append(gf)
+            labelled.append((idx, source))
+        obs_counter("ingest.profiles.loaded", len(gfs))
+
+        with _timed(timings, "compose"), obs_span("ingest.derive_ids"):
+            gfs, labelled, profile_ids = _derive_profile_ids(
+                gfs, labelled, metadata_key, on_error, report)
+
+        report.loaded = [source for _, source in labelled]
+        if not gfs:
             if on_error == "strict":
-                raise
-            if on_error == "skip":
-                warnings.warn(f"skipping profile: {e}", stacklevel=2)
-            report.quarantined.append(
-                QuarantinedProfile(source=source, stage=e.stage,
-                                   error=e, index=idx))
-            continue
-        gfs.append(gf)
-        labelled.append((idx, source))
+                raise CompositionError("no profiles could be loaded")
+            logger.error("nothing loadable: all %d profile(s) quarantined",
+                         len(sources))
+            return IngestResult(None, report)
 
-    gfs, labelled, profile_ids = _derive_profile_ids(
-        gfs, labelled, metadata_key, on_error, report)
-
-    report.loaded = [source for _, source in labelled]
-    if not gfs:
-        if on_error == "strict":
-            raise CompositionError("no profiles could be loaded")
-        return IngestResult(None, report)
-
-    provenance = {
-        "ingest_policy": on_error,
-        "dropped_profiles": [
-            {"source": q.source, "stage": q.stage,
-             "error_type": q.error_type, "error": str(q.error)}
-            for q in report.quarantined
-        ],
-        "repaired_profile_ids": [
-            {"source": r.source, "original": r.original,
-             "repaired": r.repaired}
-            for r in report.repaired
-        ],
-    }
-    tk = Thicket._compose(gfs, profile_ids, intersection=intersection,
-                          fill_perfdata=fill_perfdata,
-                          provenance=provenance)
+        provenance = {
+            "ingest_policy": on_error,
+            "dropped_profiles": [
+                {"source": q.source, "stage": q.stage,
+                 "error_type": q.error_type, "error": str(q.error)}
+                for q in report.quarantined
+            ],
+            "repaired_profile_ids": [
+                {"source": r.source, "original": r.original,
+                 "repaired": r.repaired}
+                for r in report.repaired
+            ],
+        }
+        with _timed(timings, "compose"), obs_span("ingest.compose",
+                                                  profiles=len(gfs)):
+            tk = Thicket._compose(gfs, profile_ids,
+                                  intersection=intersection,
+                                  fill_perfdata=fill_perfdata,
+                                  provenance=provenance)
+        top.set("loaded", len(gfs))
+        top.set("quarantined", report.n_quarantined)
+        if report.quarantined:
+            logger.info("ingest finished: %d/%d loaded, %d quarantined",
+                        report.n_loaded, report.requested,
+                        report.n_quarantined)
     return IngestResult(tk, report)

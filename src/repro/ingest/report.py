@@ -59,6 +59,7 @@ class IngestReport:
     loaded: list = field(default_factory=list)        # sources that made it in
     quarantined: list = field(default_factory=list)   # QuarantinedProfile
     repaired: list = field(default_factory=list)      # RepairedProfileId
+    stage_seconds: dict = field(default_factory=dict)  # stage -> wall seconds
 
     @property
     def n_loaded(self) -> int:
@@ -90,6 +91,11 @@ class IngestReport:
             lines.append(f"  - {q.describe()}")
         for r in self.repaired:
             lines.append(f"  ~ {r.describe()}")
+        if self.stage_seconds:
+            total = sum(self.stage_seconds.values())
+            stages = ", ".join(f"{k}={v:.3f}s"
+                               for k, v in self.stage_seconds.items())
+            lines.append(f"  stages: {stages} (total {total:.3f}s)")
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
@@ -109,6 +115,8 @@ class IngestReport:
                  "repaired": repr(r.repaired)}
                 for r in self.repaired
             ],
+            "stage_seconds": {k: round(v, 6)
+                              for k, v in self.stage_seconds.items()},
         }
 
 

@@ -1,0 +1,281 @@
+"""Zero-dependency tracing core: nested spans over monotonic clocks.
+
+The library that analyzes performance data should not itself be a
+black box.  This module provides the measurement half of the
+``repro.obs`` subsystem: a process-wide :class:`Telemetry` singleton
+that is a **no-op until enabled**, a ``span()`` context manager that
+hot paths wrap around their work, and module-level ``counter`` /
+``gauge`` / ``observe`` helpers feeding the thread-safe
+:class:`~repro.obs.metrics.MetricsRegistry`.
+
+Design constraints (in priority order):
+
+1. *Disabled cost ≈ nothing.*  ``span()`` when telemetry is off does
+   one attribute check and returns a shared immutable no-op context
+   manager — no allocation beyond the caller's kwargs dict.  Counter
+   helpers early-return on the same check.  Instrumented hot paths
+   must regress <5% with telemetry disabled.
+2. *Zero dependencies.*  Only the standard library; importable from
+   the bottom of the stack (``repro.frame.ops``) without cycles.
+3. *Thread safety.*  Each thread keeps its own span stack
+   (``threading.local``); finished root spans land in one
+   lock-protected list so multi-threaded traces interleave safely.
+
+Typical instrumentation::
+
+    from repro.obs import span, counter
+
+    with span("frame.groupby.agg", groups=len(groups)) as s:
+        ...
+        s.set("columns", n_cols)
+    counter("frame.ops.numeric_values")
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Callable, Iterator
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "Span", "Telemetry", "get_telemetry", "telemetry_enabled",
+    "span", "enable", "disable", "reset",
+    "counter", "gauge", "observe",
+]
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+    def set(self, key: str, value: Any) -> None:
+        return None
+
+    @property
+    def duration(self) -> float:
+        return 0.0
+
+    @property
+    def cpu_time(self) -> float:
+        return 0.0
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed region: wall/CPU interval, attributes, child spans.
+
+    Spans are created by :meth:`Telemetry.span` (or the module-level
+    :func:`span`) and used as context managers; entering records
+    monotonic wall and CPU start stamps and pushes the span onto the
+    calling thread's stack, exiting records the end stamps and, for
+    root spans, publishes the finished tree to the telemetry sink.
+    """
+
+    __slots__ = ("name", "attrs", "sid", "parent_sid", "tid",
+                 "start", "end", "cpu_start", "cpu_end",
+                 "children", "error", "_telemetry")
+
+    def __init__(self, telemetry: "Telemetry", name: str,
+                 attrs: dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+        self.sid = next(telemetry._ids)
+        self.parent_sid: int | None = None
+        self.tid = threading.get_ident()
+        self.start = 0.0
+        self.end: float | None = None
+        self.cpu_start = 0.0
+        self.cpu_end: float | None = None
+        self.children: list[Span] = []
+        self.error: str | None = None
+        self._telemetry = telemetry
+
+    # -- context manager ----------------------------------------------
+    def __enter__(self) -> "Span":
+        t = self._telemetry
+        stack = t._stack()
+        if stack:
+            parent = stack[-1]
+            parent.children.append(self)
+            self.parent_sid = parent.sid
+        stack.append(self)
+        self.cpu_start = t.cpu_clock()
+        self.start = t.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        t = self._telemetry
+        self.end = t.clock()
+        self.cpu_end = t.cpu_clock()
+        if exc_type is not None:
+            self.error = exc_type.__name__
+        stack = t._stack()
+        # tolerate exotic unwinding: pop back to (and including) self
+        while stack and stack[-1] is not self:
+            stack.pop()
+        if stack:
+            stack.pop()
+        if self.parent_sid is None:
+            t._publish(self)
+
+    # -- data ----------------------------------------------------------
+    def set(self, key: str, value: Any) -> None:
+        """Attach/overwrite one attribute on an open or closed span."""
+        self.attrs[key] = value
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds (0.0 while still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    @property
+    def cpu_time(self) -> float:
+        """Process CPU seconds (0.0 while still open)."""
+        return 0.0 if self.cpu_end is None else self.cpu_end - self.cpu_start
+
+    @property
+    def self_time(self) -> float:
+        """Wall time not covered by direct children."""
+        return self.duration - sum(c.duration for c in self.children)
+
+    def walk(self) -> Iterator["Span"]:
+        """Pre-order traversal of this span's subtree."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, sid={self.sid}, "
+                f"dur={self.duration:.6f}s, children={len(self.children)})")
+
+
+class Telemetry:
+    """Process-wide tracing state: enable switch, clocks, span sink.
+
+    Clocks are injectable for deterministic tests; defaults are
+    ``time.perf_counter`` (wall) and ``time.process_time`` (CPU).
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter,
+                 cpu_clock: Callable[[], float] = time.process_time):
+        self.enabled = False
+        self.clock = clock
+        self.cpu_clock = cpu_clock
+        self.metrics = MetricsRegistry()
+        self.epoch = 0.0
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._finished: list[Span] = []
+
+    # -- lifecycle -----------------------------------------------------
+    def enable(self) -> None:
+        if not self.enabled:
+            self.epoch = self.clock()
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all recorded spans and metrics (keeps enabled state)."""
+        with self._lock:
+            self._finished = []
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+        self.metrics.reset()
+
+    # -- span machinery ------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> Span | _NullSpan:
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(self, name, attrs)
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _publish(self, root: Span) -> None:
+        with self._lock:
+            self._finished.append(root)
+
+    def finished_spans(self) -> list[Span]:
+        """Snapshot of completed root spans (ordered by completion)."""
+        with self._lock:
+            return list(self._finished)
+
+    def __repr__(self) -> str:
+        return (f"Telemetry(enabled={self.enabled}, "
+                f"roots={len(self._finished)})")
+
+
+_TELEMETRY = Telemetry()
+
+
+def get_telemetry() -> Telemetry:
+    """The process-wide telemetry singleton."""
+    return _TELEMETRY
+
+
+def telemetry_enabled() -> bool:
+    return _TELEMETRY.enabled
+
+
+def enable() -> Telemetry:
+    """Switch tracing + metrics on; returns the singleton."""
+    _TELEMETRY.enable()
+    return _TELEMETRY
+
+
+def disable() -> Telemetry:
+    """Switch tracing + metrics off (recorded spans are kept)."""
+    _TELEMETRY.disable()
+    return _TELEMETRY
+
+
+def reset() -> None:
+    """Clear recorded spans and metrics on the singleton."""
+    _TELEMETRY.reset()
+
+
+def span(name: str, **attrs: Any) -> Span | _NullSpan:
+    """Open a named span on the global telemetry (no-op when disabled)."""
+    t = _TELEMETRY
+    if not t.enabled:
+        return _NULL_SPAN
+    return Span(t, name, attrs)
+
+
+def counter(name: str, value: float = 1.0) -> None:
+    """Increment a global counter (no-op when disabled)."""
+    t = _TELEMETRY
+    if t.enabled:
+        t.metrics.increment(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a global gauge (no-op when disabled)."""
+    t = _TELEMETRY
+    if t.enabled:
+        t.metrics.set_gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record one histogram observation (no-op when disabled)."""
+    t = _TELEMETRY
+    if t.enabled:
+        t.metrics.observe(name, value)

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from ..obs import counter as obs_counter
+from ..obs import span as obs_span
 from .primitives import QueryNode
 
 __all__ = ["match_graph", "match_paths"]
@@ -19,6 +21,16 @@ __all__ = ["match_graph", "match_paths"]
 def match_paths(graph, query: list[QueryNode],
                 row_view: Callable[[Any], Any]) -> list[tuple]:
     """All matched paths, each a tuple of call-tree nodes."""
+    with obs_span("query.match_paths", query_len=len(query)) as s:
+        results, n_evals = _match_paths(graph, query, row_view)
+        s.set("paths", len(results))
+        obs_counter("query.predicate_evals", n_evals)
+        obs_counter("query.paths_matched", len(results))
+    return results
+
+
+def _match_paths(graph, query: list[QueryNode],
+                 row_view: Callable[[Any], Any]) -> tuple[list[tuple], int]:
     pred_cache: dict[tuple[int, int], bool] = {}
 
     def satisfied(node, qi: int) -> bool:
@@ -56,7 +68,7 @@ def match_paths(graph, query: list[QueryNode],
 
     for node in graph.traverse():
         start(node)
-    return results
+    return results, len(pred_cache)
 
 
 def match_graph(graph, query: list[QueryNode],
@@ -64,13 +76,15 @@ def match_graph(graph, query: list[QueryNode],
     """Union of nodes over all matched paths, in graph traversal order."""
     if not query:
         return []
-    matched: set[int] = set()
-    keep = []
-    for path in match_paths(graph, query, row_view):
-        for node in path:
-            if id(node) not in matched:
-                matched.add(id(node))
-                keep.append(node)
-    order = {id(n): i for i, n in enumerate(graph.traverse())}
-    keep.sort(key=lambda n: order[id(n)])
+    with obs_span("query.match_graph", query_len=len(query)) as s:
+        matched: set[int] = set()
+        keep = []
+        for path in match_paths(graph, query, row_view):
+            for node in path:
+                if id(node) not in matched:
+                    matched.add(id(node))
+                    keep.append(node)
+        order = {id(n): i for i, n in enumerate(graph.traverse())}
+        keep.sort(key=lambda n: order[id(n)])
+        s.set("matched_nodes", len(keep))
     return keep

@@ -73,3 +73,33 @@ class TestMemoryHighwaterService:
             MemoryHighwaterService().allocate(-1)
         with pytest.raises(ValueError):
             MemoryHighwaterService().free(-1)
+
+
+class TestTimerService:
+    def test_injectable_clock_is_deterministic(self):
+        from repro.caliper.services import TimerService
+
+        ticks = iter([10.0, 12.5])
+        svc = TimerService(clock=lambda: next(ticks))
+        assert svc.snapshot() == {"time (exc)": 10.0}
+        assert svc.snapshot() == {"time (exc)": 12.5}
+
+    def test_deterministic_region_timing_via_instrumenter(self):
+        from repro.caliper.services import TimerService
+
+        now = [0.0]
+        svc = TimerService(clock=lambda: now[0])
+        cali = Instrumenter(services=[svc])
+        with cali.region("main"):
+            now[0] += 3.0
+        prof = cali.finish()
+        by_path = {r["path"]: r["metrics"] for r in prof["records"]}
+        assert by_path[("main",)]["time (exc)"] == 3.0
+
+    def test_default_clock_is_monotonic_wall(self):
+        from repro.caliper.services import TimerService
+
+        svc = TimerService()
+        a = svc.snapshot()["time (exc)"]
+        b = svc.snapshot()["time (exc)"]
+        assert b >= a

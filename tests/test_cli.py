@@ -181,3 +181,115 @@ class TestIngestCommand:
         (tmp_path / "only.json").write_text("junk")
         rc = main(["ingest", str(tmp_path), "--on-error", "collect"])
         assert rc == 2
+
+
+class TestObservabilityFlags:
+    @pytest.fixture(autouse=True)
+    def _quiesce_telemetry(self):
+        import repro.obs as obs
+
+        obs.disable()
+        obs.reset()
+        yield
+        obs.disable()
+        obs.reset()
+
+    def test_trace_flag_writes_chrome_trace(self, marbl_dir, tmp_path,
+                                            capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        assert main(["--trace", str(trace), "summarize", marbl_dir]) == 0
+        err = capsys.readouterr().err
+        assert f"trace written to {trace}" in err
+        doc = json.loads(trace.read_text())
+        names = {ev["name"] for ev in doc["traceEvents"]}
+        assert "ingest.load_ensemble" in names
+        assert all(ev["ph"] == "X" for ev in doc["traceEvents"])
+
+    def test_trace_flag_after_subcommand_and_jsonl(self, marbl_dir,
+                                                   tmp_path):
+        import repro.obs as obs
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(["summarize", marbl_dir, "--trace", str(trace)]) == 0
+        roots, _ = obs.load_trace(trace)
+        assert roots and roots[0].name == "ingest.load_ensemble"
+
+    def test_metrics_flag_prints_summary(self, marbl_dir, capsys):
+        assert main(["--metrics", "summarize", marbl_dir]) == 0
+        err = capsys.readouterr().err
+        assert "ingest.load_ensemble" in err
+        assert "ingest.profiles.loaded" in err
+
+    def test_metrics_flag_does_not_clash_with_stats(self, marbl_dir,
+                                                    capsys):
+        # `stats` keeps its own --metrics option; the telemetry flag is
+        # accepted in the root position.
+        rc = main(["--metrics", "stats", marbl_dir,
+                   "--metrics", "Avg time/rank", "--functions", "mean"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "Avg time/rank_mean" in captured.out
+        assert "stats.apply_nodewise" in captured.err
+
+    def test_obs_subcommand_summarizes_trace(self, marbl_dir, tmp_path,
+                                             capsys):
+        trace = tmp_path / "trace.json"
+        main(["--trace", str(trace), "summarize", marbl_dir])
+        capsys.readouterr()
+        assert main(["obs", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "ingest.load_ensemble" in out
+        assert "root span(s)" in out
+
+    def test_obs_subcommand_tree_renders_thicket(self, marbl_dir,
+                                                 tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        main(["--trace", str(trace), "summarize", marbl_dir])
+        capsys.readouterr()
+        assert main(["obs", str(trace), "--tree"]) == 0
+        out = capsys.readouterr().out
+        assert "ingest.profile" in out
+
+    def test_obs_subcommand_json(self, marbl_dir, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        main(["--trace", str(trace), "summarize", marbl_dir])
+        capsys.readouterr()
+        assert main(["obs", str(trace), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["roots"] >= 1
+        assert doc["spans"] > doc["roots"]
+        assert doc["wall_seconds"] > 0
+
+    def test_obs_subcommand_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["obs", str(tmp_path / "nope.json")])
+
+    def test_log_level_flag_emits_ingest_logs(self, marbl_dir, capsys):
+        import logging
+
+        assert main(["--log-level", "info", "summarize", marbl_dir]) == 0
+        err = capsys.readouterr().err
+        assert "repro.ingest" in err
+        # avoid polluting later tests with a stale captured stream
+        logging.getLogger("repro").handlers.clear()
+
+
+class TestIngestJsonSchema:
+    def test_ingest_json_schema_is_stable(self, marbl_dir, capsys):
+        """The --json report is a documented machine interface; its key
+        set (including per-stage wall times) must not drift silently."""
+        import json
+
+        assert main(["ingest", marbl_dir, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert set(report) == {"policy", "requested", "loaded",
+                               "quarantined", "repaired", "stage_seconds"}
+        assert set(report["stage_seconds"]) == {
+            "read", "validate", "build", "compose"}
+        assert all(isinstance(v, float) and v >= 0
+                   for v in report["stage_seconds"].values())
+        assert report["requested"] == 12
