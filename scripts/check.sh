@@ -55,4 +55,63 @@ assert "ingest.load_ensemble" in {n.frame.name for n in tk.graph.traverse()}
 print(f"trace round-trips as {tk}")
 PY
 
+echo "== durable-store recovery smoke =="
+# Save a thicket, corrupt the store, and require `repro validate` to
+# flag it with the dedicated exit code; then interrupt a checkpointed
+# ingest mid-campaign and require the re-run to resume the remainder
+# and compose the same thicket.
+STORE_DIR=$(mktemp -d)
+trap 'rm -rf "$OBS_CAMPAIGN" "$STORE_DIR"' EXIT
+python -m repro ingest "$OBS_CAMPAIGN" \
+    --save "$STORE_DIR/tk.json" >/dev/null
+python -m repro validate "$STORE_DIR/tk.json"
+python - "$STORE_DIR/tk.json" <<'PY'
+import sys
+
+from repro.workloads import corrupt_store
+
+corrupt_store(sys.argv[1], "byte_flip", seed=7)
+PY
+rc=0
+python -m repro validate "$STORE_DIR/tk.json" 2>/dev/null || rc=$?
+if [ "$rc" -ne 4 ]; then
+    echo "FAIL: corrupted store exited $rc, expected 4" >&2
+    exit 1
+fi
+echo "corrupt store rejected with exit code 4"
+python - "$OBS_CAMPAIGN" "$STORE_DIR" <<'PY'
+import sys
+from pathlib import Path
+
+import repro.ingest.pipeline as pipe
+from repro.ingest import load_ensemble
+
+campaign = sorted(Path(sys.argv[1]).glob("*.json"))
+ckpt = Path(sys.argv[2]) / "ckpt"
+baseline = load_ensemble(campaign).thicket.to_json()
+
+real_read, reads = pipe._read_text, 0
+
+def crash_after_3(path):
+    global reads
+    if reads >= 3:
+        raise KeyboardInterrupt("simulated interrupt")
+    reads += 1
+    return real_read(path)
+
+pipe._read_text = crash_after_3
+try:
+    load_ensemble(campaign, checkpoint=ckpt)
+except KeyboardInterrupt:
+    pass
+finally:
+    pipe._read_text = real_read
+
+tk, report = load_ensemble(campaign, checkpoint=ckpt)
+assert report.n_resumed == 3, report.n_resumed
+assert tk.to_json() == baseline, "resumed thicket differs from from-scratch"
+print(f"interrupted ingest resumed {report.n_resumed} profile(s), "
+      f"re-read {len(campaign) - report.n_resumed}, thicket identical")
+PY
+
 echo "== all checks passed =="

@@ -20,9 +20,18 @@ Quick start::
 
 __version__ = "1.1.0"
 
-from .core import Thicket, concat_thickets, profile_hash  # noqa: E402
+from .core import (  # noqa: E402
+    Thicket,
+    ValidationReport,
+    concat_thickets,
+    load_thicket,
+    profile_hash,
+    save_thicket,
+)
 from .errors import (  # noqa: E402
     CompositionError,
+    CorruptStoreError,
+    PersistenceError,
     ProfileConflictError,
     ReaderError,
     ReproError,
@@ -34,7 +43,8 @@ from .query import QueryMatcher  # noqa: E402
 __all__ = [
     "Thicket", "concat_thickets", "profile_hash", "QueryMatcher",
     "ReproError", "ReaderError", "SchemaError", "CompositionError",
-    "ProfileConflictError",
+    "ProfileConflictError", "PersistenceError", "CorruptStoreError",
     "load_ensemble", "IngestReport", "IngestResult",
+    "save_thicket", "load_thicket", "ValidationReport",
     "__version__",
 ]

@@ -80,9 +80,14 @@ def profile_to_cali_dict(profile: Mapping[str, Any]) -> dict:
 
 
 def write_cali_json(profile: Mapping[str, Any], path: str | Path) -> Path:
-    """Write a profile to *path* in json-split format; returns the path."""
+    """Write a profile to *path* in json-split format; returns the path.
+
+    The write is atomic (temp file + fsync + rename): a crash while a
+    campaign is being written leaves complete profiles plus at most one
+    invisible temp file, never a truncated profile.
+    """
+    from ..ioutil import atomic_write_text
+
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     payload = profile_to_cali_dict(profile)
-    path.write_text(json.dumps(payload))
-    return path
+    return atomic_write_text(path, json.dumps(payload))

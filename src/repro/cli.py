@@ -15,6 +15,8 @@ the "quick look before opening a notebook" path::
     python -m repro scaling    profiles/ --node timeStepLoop \
                                --metric "time per cycle (inc)"
     python -m repro ingest     profiles/ --on-error collect
+    python -m repro ingest     profiles/ --checkpoint ckpt/ --save tk.json
+    python -m repro validate   tk.json
     python -m repro --trace trace.json ingest profiles/
     python -m repro obs        trace.json --tree
 
@@ -40,7 +42,9 @@ flags, accepted both before and after the subcommand name:
 
 Exit codes: 0 success; 1 command-level failure (e.g. no query match);
 2 ingestion failed (strict error, or nothing loadable); 3 partial
-ingestion (the command succeeded but profiles were quarantined).
+ingestion (the command succeeded but profiles were quarantined);
+4 corrupt or unreadable durable store (failed checksum, truncated
+file, or broken structural invariants under ``repro validate``).
 """
 
 from __future__ import annotations
@@ -51,11 +55,13 @@ from pathlib import Path
 from typing import Sequence
 
 __all__ = ["main", "build_parser",
-           "EXIT_OK", "EXIT_INGEST_FAILURE", "EXIT_PARTIAL_INGEST"]
+           "EXIT_OK", "EXIT_INGEST_FAILURE", "EXIT_PARTIAL_INGEST",
+           "EXIT_CORRUPT_STORE"]
 
 EXIT_OK = 0
 EXIT_INGEST_FAILURE = 2
 EXIT_PARTIAL_INGEST = 3
+EXIT_CORRUPT_STORE = 4
 
 
 def _profile_paths(profile_dir: str) -> list[Path]:
@@ -187,7 +193,8 @@ def _cmd_ingest(args) -> int:
     from .ingest import load_ensemble
 
     tk, report = load_ensemble(_profile_paths(args.profiles),
-                               on_error=args.on_error)
+                               on_error=args.on_error,
+                               checkpoint=args.checkpoint)
     args._ingest_report = report
     if args.json:
         print(json_mod.dumps(report.to_dict(), indent=2))
@@ -197,6 +204,32 @@ def _cmd_ingest(args) -> int:
             print(f"composed: {tk}")
     if tk is None:
         return EXIT_INGEST_FAILURE
+    if tk is not None and args.save:
+        tk.save(args.save)
+        if not args.json:
+            print(f"saved: {args.save}")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    """Verify a saved thicket store: checksum + structural invariants."""
+    import json as json_mod
+
+    from .core.io import load_thicket
+
+    tk = load_thicket(args.store)  # checksum verified; raises on corruption
+    report = tk.validate(repair=args.repair)
+    if args.repair and report.repaired:
+        tk.save(args.store)
+    if args.json:
+        doc = report.to_dict()
+        doc["store"] = str(args.store)
+        print(json_mod.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(f"{args.store}: checksum ok")
+        print(report.summary())
+    if not report.ok:
+        return EXIT_CORRUPT_STORE
     return 0
 
 
@@ -317,6 +350,25 @@ def build_parser() -> argparse.ArgumentParser:
             "validate a campaign directory and print the ingest report")
     p.add_argument("--json", action="store_true",
                    help="machine-readable report")
+    p.add_argument("--checkpoint", metavar="DIR", default=None,
+                   help="journal per-profile outcomes to DIR; a re-run "
+                        "with the same DIR resumes after an interruption "
+                        "instead of re-reading finished profiles")
+    p.add_argument("--save", metavar="PATH", default=None,
+                   help="save the composed thicket as an atomic "
+                        "checksummed store")
+
+    p = sub.add_parser("validate",
+                       help="verify a saved thicket store (checksum + "
+                            "structural invariants)")
+    p.add_argument("store", help="thicket store written by --save / "
+                                 "Thicket.save")
+    p.add_argument("--repair", action="store_true",
+                   help="fix the repairable subset in place and re-save")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable validation report")
+    _add_obs_flags(p, suppress=True)
+    p.set_defaults(fn=_cmd_validate)
 
     p = add("scaling", _cmd_scaling, "strong-scaling / Karp-Flatt table")
     p.add_argument("--node", required=True)
@@ -365,7 +417,7 @@ def _finish_telemetry(args) -> None:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    from .errors import ReproError
+    from .errors import PersistenceError, ReproError
 
     args = build_parser().parse_args(argv)
 
@@ -383,6 +435,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         obs.enable()
     try:
         rc = args.fn(args)
+    except PersistenceError as e:
+        print(f"error [{e.stage}]: {type(e).__name__}: {e}", file=sys.stderr)
+        return EXIT_CORRUPT_STORE
     except ReproError as e:
         print(f"error [{e.stage}]: {type(e).__name__}: {e}", file=sys.stderr)
         return EXIT_INGEST_FAILURE

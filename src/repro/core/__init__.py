@@ -8,6 +8,7 @@ from .groupby import GroupByResult, groupby_metadata
 from .horizontal import concat_thickets
 from .querying import query_thicket
 from .thicket import Thicket, profile_hash
+from .validate import ValidationIssue, ValidationReport, validate_thicket
 
 __all__ = [
     "Thicket",
@@ -26,6 +27,9 @@ __all__ = [
     "thicket_from_json",
     "save_thicket",
     "load_thicket",
+    "ValidationIssue",
+    "ValidationReport",
+    "validate_thicket",
     "display_heatmap",
     "display_histogram",
 ]

@@ -357,10 +357,22 @@ class Thicket:
         return save_thicket(self, path)
 
     @classmethod
-    def load(cls, path) -> "Thicket":
+    def load(cls, path, verify: bool = False) -> "Thicket":
         from .io import load_thicket
 
-        return load_thicket(path)
+        return load_thicket(path, verify=verify)
+
+    def validate(self, repair: bool = False):
+        """Check the cross-component structural invariants.
+
+        Returns a :class:`~repro.core.validate.ValidationReport`; with
+        ``repair=True`` the repairable violations (stale metric lists,
+        duplicate index entries, orphaned perf/stats rows, stale
+        profile list) are fixed in place and recorded in the report.
+        """
+        from .validate import validate_thicket
+
+        return validate_thicket(self, repair=repair)
 
     def display_heatmap(self, columns=None, svg_path=None, **kwargs) -> str:
         from .display import display_heatmap

@@ -1,0 +1,271 @@
+"""Structural invariant validation for :class:`~repro.core.Thicket`.
+
+A thicket is three linked components plus bookkeeping lists, and every
+operation (ingest, filter, groupby, concat, load) must preserve the
+cross-component invariants:
+
+* every node in the performance-data and statsframe indices belongs to
+  the call graph;
+* the metadata index, the performance-data profile level, and
+  ``tk.profile`` describe the same profile set;
+* ``exc_metrics`` / ``inc_metrics`` / ``default_metric`` name existing
+  performance-data columns;
+* no index has duplicate entries.
+
+:func:`validate_thicket` checks them all and returns a structured
+:class:`ValidationReport` instead of raising, so callers can decide
+whether an inconsistency is fatal (``load_thicket(..., verify=True)``
+treats it as store corruption) or repairable (``repair=True`` fixes
+the subset that can be fixed without inventing data: stale metric
+lists, duplicate index entries, orphaned perf/stats rows, and a stale
+profile list).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ValidationIssue", "ValidationReport", "validate_thicket"]
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One violated invariant."""
+
+    code: str          # stable machine-readable id, e.g. "perf-node-unknown"
+    message: str       # human-readable description with counts/examples
+    repairable: bool   # whether repair=True can fix it without inventing data
+    count: int = 1     # how many entries are affected
+
+    def describe(self) -> str:
+        tag = "repairable" if self.repairable else "NOT repairable"
+        return f"[{self.code}] {self.message} ({tag})"
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one :func:`validate_thicket` run."""
+
+    issues: list = field(default_factory=list)    # ValidationIssue
+    repaired: list = field(default_factory=list)  # str descriptions
+
+    @property
+    def ok(self) -> bool:
+        """True iff no invariant is violated (after any repairs)."""
+        return not self.issues
+
+    @property
+    def repairable(self) -> bool:
+        """True iff every remaining issue could be fixed by repair=True."""
+        return all(i.repairable for i in self.issues)
+
+    def summary(self) -> str:
+        if self.ok and not self.repaired:
+            return "validate: ok (all structural invariants hold)"
+        lines = [f"validate: {len(self.issues)} issue(s), "
+                 f"{len(self.repaired)} repair(s) applied"]
+        for issue in self.issues:
+            lines.append(f"  ! {issue.describe()}")
+        for fix in self.repaired:
+            lines.append(f"  ~ repaired: {fix}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "issues": [
+                {"code": i.code, "message": i.message,
+                 "repairable": i.repairable, "count": i.count}
+                for i in self.issues
+            ],
+            "repaired": list(self.repaired),
+        }
+
+
+def _examples(values, limit: int = 3) -> str:
+    shown = ", ".join(repr(v) for v in list(values)[:limit])
+    return shown + (", ..." if len(values) > limit else "")
+
+
+def _duplicates(values) -> list:
+    seen: set = set()
+    dups = []
+    for v in values:
+        key = (v.item() if hasattr(v, "item") else v)
+        if key in seen:
+            dups.append(key)
+        else:
+            seen.add(key)
+    return dups
+
+
+def validate_thicket(tk, repair: bool = False) -> ValidationReport:
+    """Check (and optionally repair) *tk*'s cross-component invariants.
+
+    With ``repair=True`` the repairable violations are fixed in place
+    (*tk* is mutated) and recorded in ``report.repaired``; the report
+    then only lists what could not be fixed.
+    """
+    import numpy as np
+
+    report = ValidationReport()
+    graph_nodes = set(tk.graph.traverse())
+
+    def issue(code, message, repairable, count=1):
+        report.issues.append(
+            ValidationIssue(code=code, message=message,
+                            repairable=repairable, count=count))
+
+    # -- performance data: nodes must live in the graph ----------------
+    perf_tuples = list(tk.dataframe.index.values)
+    orphan_rows = [i for i, t in enumerate(perf_tuples)
+                   if t[0] not in graph_nodes]
+    if orphan_rows:
+        if repair:
+            keep = np.ones(len(perf_tuples), dtype=bool)
+            keep[orphan_rows] = False
+            tk.dataframe = tk.dataframe[keep]
+            report.repaired.append(
+                f"dropped {len(orphan_rows)} performance row(s) whose "
+                f"node is not in the graph")
+            perf_tuples = list(tk.dataframe.index.values)
+        else:
+            issue("perf-node-unknown",
+                  f"{len(orphan_rows)} performance row(s) reference "
+                  f"node(s) not present in the graph", True,
+                  count=len(orphan_rows))
+
+    # -- performance data: no duplicate (node, profile) entries --------
+    dup_perf = _duplicates(
+        (t[0], t[1].item() if hasattr(t[1], "item") else t[1])
+        for t in perf_tuples)
+    if dup_perf:
+        if repair:
+            seen: set = set()
+            keep = np.ones(len(perf_tuples), dtype=bool)
+            for i, t in enumerate(perf_tuples):
+                key = (t[0], t[1].item() if hasattr(t[1], "item")
+                       else t[1])
+                if key in seen:
+                    keep[i] = False
+                seen.add(key)
+            tk.dataframe = tk.dataframe[keep]
+            report.repaired.append(
+                f"dropped {len(dup_perf)} duplicate (node, profile) "
+                f"performance row(s), keeping the first of each")
+        else:
+            issue("perf-index-duplicate",
+                  f"{len(dup_perf)} duplicate (node, profile) "
+                  f"entry(ies) in the performance data index", True,
+                  count=len(dup_perf))
+
+    # -- metadata: unique profile index --------------------------------
+    meta_profiles = list(tk.metadata.index.values)
+    dup_meta = _duplicates(meta_profiles)
+    if dup_meta:
+        if repair:
+            seen = set()
+            keep = np.ones(len(meta_profiles), dtype=bool)
+            for i, p in enumerate(meta_profiles):
+                key = p.item() if hasattr(p, "item") else p
+                if key in seen:
+                    keep[i] = False
+                seen.add(key)
+            tk.metadata = tk.metadata[keep]
+            report.repaired.append(
+                f"dropped {len(dup_meta)} duplicate metadata row(s): "
+                f"{_examples(dup_meta)}")
+            meta_profiles = list(tk.metadata.index.values)
+        else:
+            issue("metadata-index-duplicate",
+                  f"duplicate profile id(s) in the metadata index: "
+                  f"{_examples(dup_meta)}", True, count=len(dup_meta))
+
+    # -- profile sets: perf ⊆ metadata, tk.profile == metadata ---------
+    meta_set = {p.item() if hasattr(p, "item") else p
+                for p in meta_profiles}
+    perf_profiles = {t[1].item() if hasattr(t[1], "item") else t[1]
+                     for t in tk.dataframe.index.values}
+    unknown_profiles = perf_profiles - meta_set
+    if unknown_profiles:
+        # metadata for these rows does not exist anywhere; dropping the
+        # rows would silently discard measurements, so never auto-repair
+        issue("perf-profile-unknown",
+              f"performance rows reference profile(s) absent from the "
+              f"metadata table: {_examples(sorted(unknown_profiles, key=repr))}",
+              False, count=len(unknown_profiles))
+
+    profile_list = {p.item() if hasattr(p, "item") else p
+                    for p in tk.profile}
+    if profile_list != meta_set:
+        extra = profile_list - meta_set
+        missing = meta_set - profile_list
+        if repair:
+            tk.profile = list(tk.metadata.index.values)
+            report.repaired.append(
+                "reset tk.profile to the metadata index "
+                f"(+{len(missing)}/-{len(extra)})")
+        else:
+            extra_s = _examples(sorted(extra, key=repr)) or "none"
+            missing_s = _examples(sorted(missing, key=repr)) or "none"
+            issue("profile-list-mismatch",
+                  f"tk.profile disagrees with the metadata index "
+                  f"(extra: {extra_s}; missing: {missing_s})",
+                  True, count=len(extra) + len(missing))
+
+    # -- statsframe: nodes in graph, no duplicates ---------------------
+    stats_nodes = list(tk.statsframe.index.values)
+    stats_orphans = [n for n in stats_nodes if n not in graph_nodes]
+    stats_dups = _duplicates(stats_nodes)
+    if stats_orphans or stats_dups:
+        if repair:
+            tk.unify_statsframe_index()
+            report.repaired.append(
+                f"rebuilt the statsframe skeleton "
+                f"({len(stats_orphans)} orphaned node(s), "
+                f"{len(stats_dups)} duplicate(s); "
+                f"computed statistics were discarded)")
+        else:
+            if stats_orphans:
+                issue("stats-node-unknown",
+                      f"{len(stats_orphans)} statsframe row(s) reference "
+                      f"node(s) not present in the graph", True,
+                      count=len(stats_orphans))
+            if stats_dups:
+                issue("stats-index-duplicate",
+                      f"{len(stats_dups)} duplicate node(s) in the "
+                      f"statsframe index", True, count=len(stats_dups))
+
+    # -- metric bookkeeping: exc/inc ⊆ columns, default exists ---------
+    columns = set(tk.dataframe.columns)
+    for attr, code in (("exc_metrics", "exc-metric-missing"),
+                       ("inc_metrics", "inc-metric-missing")):
+        metrics = getattr(tk, attr)
+        stale = [m for m in metrics if m not in columns]
+        if stale:
+            if repair:
+                setattr(tk, attr, [m for m in metrics if m in columns])
+                report.repaired.append(
+                    f"removed stale {attr}: {_examples(stale)}")
+            else:
+                issue(code,
+                      f"{attr} name(s) missing from the performance "
+                      f"data columns: {_examples(stale)}", True,
+                      count=len(stale))
+
+    if (tk.default_metric is not None
+            and tk.default_metric not in columns
+            and tk.default_metric not in tk.statsframe.columns):
+        if repair:
+            old = tk.default_metric
+            tk.default_metric = tk.exc_metrics[0] if tk.exc_metrics else (
+                tk.inc_metrics[0] if tk.inc_metrics else None)
+            report.repaired.append(
+                f"reset default_metric {old!r} -> {tk.default_metric!r}")
+        else:
+            issue("default-metric-missing",
+                  f"default_metric {tk.default_metric!r} is not a "
+                  f"performance or stats column", True)
+
+    return report

@@ -17,12 +17,15 @@ Hierarchy::
     ReproError
     ├── ReaderError            I/O and JSON-decode failures
     │   └── SchemaError        payload present but structurally invalid
-    └── CompositionError       ensemble-level failures (also ValueError)
-        └── ProfileConflictError   colliding / unusable profile ids
+    ├── CompositionError       ensemble-level failures (also ValueError)
+    │   └── ProfileConflictError   colliding / unusable profile ids
+    └── PersistenceError       durable-store write/read failures (also ValueError)
+        └── CorruptStoreError  store exists but fails checksum / structure
 
 ``CompositionError`` doubles as a ``ValueError`` so that pre-existing
 callers catching ``ValueError`` around :meth:`Thicket.from_caliperreader`
-keep working.
+keep working; ``PersistenceError`` does the same for callers catching
+``ValueError`` around :meth:`Thicket.from_json` / :func:`load_thicket`.
 """
 
 from __future__ import annotations
@@ -35,6 +38,8 @@ __all__ = [
     "SchemaError",
     "CompositionError",
     "ProfileConflictError",
+    "PersistenceError",
+    "CorruptStoreError",
 ]
 
 
@@ -85,3 +90,27 @@ class ProfileConflictError(CompositionError):
     """Profile ids collide or cannot be derived (bad ``metadata_key``)."""
 
     default_stage = "compose"
+
+
+class PersistenceError(ReproError, ValueError):
+    """A durable store (thicket file, frame JSON, checkpoint journal)
+    could not be written or read.
+
+    ``source`` carries the store path and ``stage`` the persistence
+    stage that failed (``save``/``load``/``journal``).
+    """
+
+    default_stage = "persist"
+
+
+class CorruptStoreError(PersistenceError):
+    """A store file exists but fails verification.
+
+    Raised when a saved thicket (or checkpoint payload) is undecodable,
+    fails its embedded content checksum, names an unknown format, or is
+    structurally inconsistent under ``load_thicket(..., verify=True)``.
+    Never a bare ``json.JSONDecodeError``/``KeyError``: the message
+    says what was wrong and ``source`` names the offending file.
+    """
+
+    default_stage = "verify"

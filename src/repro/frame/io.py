@@ -1,7 +1,10 @@
 """Serialization of DataFrames to CSV and JSON.
 
 Used by the benchmark harness to persist the regenerated
-figure/table data next to the paper's originals.
+figure/table data next to the paper's originals.  JSON writes are
+atomic (temp file + fsync + rename, via :mod:`repro.ioutil`) and
+malformed input raises a typed :class:`repro.errors.PersistenceError`
+naming the source, never a bare ``json.JSONDecodeError``.
 """
 
 from __future__ import annotations
@@ -12,6 +15,8 @@ import json
 from pathlib import Path
 from typing import Any
 
+from ..errors import PersistenceError
+from ..ioutil import atomic_write_text
 from .dataframe import DataFrame
 from .index import MultiIndex
 
@@ -89,7 +94,7 @@ def to_json(df: DataFrame, path: str | Path | None = None) -> str | None:
     text = json.dumps(payload, indent=1)
     if path is None:
         return text
-    Path(path).write_text(text)
+    atomic_write_text(Path(path), text)
     return None
 
 
@@ -100,12 +105,28 @@ def _jsonable(v: Any) -> Any:
 
 
 def from_json(path_or_text: str | Path) -> DataFrame:
+    source = None
     if isinstance(path_or_text, Path):
+        source = path_or_text
         text = path_or_text.read_text()
     else:
         p = Path(str(path_or_text))
-        text = p.read_text() if p.exists() else str(path_or_text)
-    payload = json.loads(text)
+        if p.exists():
+            source = p
+            text = p.read_text()
+        else:
+            text = str(path_or_text)
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as e:
+        raise PersistenceError(
+            f"frame JSON is not decodable (truncated or overwritten?): {e}",
+            source=source, stage="load") from e
+    if not isinstance(payload, dict) or not {"columns", "index",
+                                             "data"} <= set(payload):
+        raise PersistenceError(
+            "frame JSON is missing the columns/index/data sections",
+            source=source, stage="load")
     columns = [tuple(c) if isinstance(c, list) else c for c in payload["columns"]]
     index = [tuple(lbl) if isinstance(lbl, list) else lbl for lbl in payload["index"]]
     data = {c: [row[j] for row in payload["data"]] for j, c in enumerate(columns)}

@@ -1,10 +1,12 @@
 """``repro.ingest`` — fault-tolerant campaign ingestion.
 
 The campaign-scale loading path: schema validation, per-profile error
-policies (``strict``/``skip``/``collect``), transient-I/O retry, and
-quarantine reporting.  See :func:`load_ensemble`.
+policies (``strict``/``skip``/``collect``), transient-I/O retry,
+quarantine reporting, and crash-tolerant resumable checkpoints
+(``load_ensemble(..., checkpoint=DIR)``).  See :func:`load_ensemble`.
 """
 
+from .checkpoint import CheckpointJournal
 from .pipeline import ERROR_POLICIES, load_ensemble
 from .report import (
     IngestReport,
@@ -22,4 +24,5 @@ __all__ = [
     "QuarantinedProfile",
     "RepairedProfileId",
     "validate_cali_payload",
+    "CheckpointJournal",
 ]

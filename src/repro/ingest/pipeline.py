@@ -22,6 +22,13 @@ retried with bounded exponential backoff before the profile is given
 up on.  Colliding profile ids are repaired deterministically under
 ``skip``/``collect`` (and recorded in the report) instead of aborting
 the whole ensemble.
+
+With ``checkpoint=DIR`` every per-profile outcome is additionally
+journaled to a crash-tolerant JSONL file plus incrementally saved
+GraphFrame payloads (:mod:`repro.ingest.checkpoint`); a re-run after
+an interruption resumes from the journal, skipping already-ingested
+and already-quarantined profiles.  Resume counts surface in the
+:class:`IngestReport` and the ``ingest.checkpoint.*`` obs counters.
 """
 
 from __future__ import annotations
@@ -236,6 +243,29 @@ def _derive_profile_ids(gfs, sources, metadata_key, on_error, report):
     return kept_gfs, kept_sources, final_ids
 
 
+def _resume_quarantined(rec: Mapping, source: str, idx: int,
+                        on_error: str, report) -> None:
+    """Re-attribute a journaled quarantine without re-reading the file."""
+    import repro.errors as errors_mod
+
+    err_cls = getattr(errors_mod, rec.get("error_type", ""), ReproError)
+    if not (isinstance(err_cls, type) and issubclass(err_cls, ReproError)):
+        err_cls = ReproError
+    error = err_cls(str(rec.get("error", "quarantined in a previous run")),
+                    source=source, stage=rec.get("stage", "ingest"))
+    if on_error == "skip":
+        warnings.warn(f"skipping profile (from checkpoint): {error}",
+                      stacklevel=3)
+    logger.info("checkpoint: skipping previously quarantined profile %s "
+                "[%s]", source, error.stage)
+    obs_counter("ingest.checkpoint.quarantine_skipped")
+    obs_counter("ingest.profiles.quarantined")
+    report.resumed_quarantined += 1
+    report.quarantined.append(
+        QuarantinedProfile(source=source, stage=error.stage, error=error,
+                           index=idx))
+
+
 def load_ensemble(sources: Iterable[Any] | Any,
                   on_error: str = "strict",
                   metadata_key: str | None = None,
@@ -244,7 +274,8 @@ def load_ensemble(sources: Iterable[Any] | Any,
                   validate: bool = True,
                   max_retries: int = 2,
                   retry_base_delay: float = 0.05,
-                  sleep=None) -> IngestResult:
+                  sleep=None,
+                  checkpoint: Any = None) -> IngestResult:
     """Compose an ensemble of cali-JSON profiles fault-tolerantly.
 
     Parameters
@@ -264,6 +295,11 @@ def load_ensemble(sources: Iterable[Any] | Any,
         reading profile files.
     sleep:
         Injectable sleep function (testing); defaults to ``time.sleep``.
+    checkpoint:
+        Directory for a crash-tolerant ingestion checkpoint (created
+        if missing).  Per-profile outcomes are journaled there as the
+        run progresses, and a re-run with the same directory resumes
+        from the journal instead of re-reading finished profiles.
 
     Returns
     -------
@@ -285,70 +321,114 @@ def load_ensemble(sources: Iterable[Any] | Any,
     if not sources:
         raise CompositionError("no profiles given")
 
+    ckpt = None
+    if checkpoint is not None:
+        from .checkpoint import CheckpointJournal
+
+        ckpt = CheckpointJournal(checkpoint)
+        report.checkpoint_path = str(Path(checkpoint))
+
     timings = report.stage_seconds
-    with obs_span("ingest.load_ensemble", profiles=len(sources),
-                  policy=on_error) as top:
-        logger.info("ingesting %d profile(s) (policy=%s, validate=%s)",
-                    len(sources), on_error, validate)
-        gfs: list[GraphFrame] = []
-        labelled: list[tuple[int, str]] = []
-        for idx, src in enumerate(sources):
-            source = _source_label(src, idx)
-            try:
-                with obs_span("ingest.profile", source=source):
-                    gf = _load_one(src, idx, validate, max_retries,
-                                   retry_base_delay, sleep, timings)
-            except ReproError as e:
+    try:
+        with obs_span("ingest.load_ensemble", profiles=len(sources),
+                      policy=on_error) as top:
+            logger.info("ingesting %d profile(s) (policy=%s, validate=%s)",
+                        len(sources), on_error, validate)
+            gfs: list[GraphFrame] = []
+            labelled: list[tuple[int, str]] = []
+            for idx, src in enumerate(sources):
+                source = _source_label(src, idx)
+                if ckpt is not None:
+                    rec = ckpt.get(source)
+                    if rec is not None:
+                        if rec.get("status") == "ok":
+                            with _timed(timings, "resume"), \
+                                    obs_span("ingest.checkpoint.load",
+                                             source=source):
+                                gf = ckpt.load_gf(rec)
+                            if gf is not None:
+                                obs_counter("ingest.checkpoint.resumed")
+                                report.resumed.append(source)
+                                gfs.append(gf)
+                                labelled.append((idx, source))
+                                continue
+                            # payload lost/corrupt: fall through, re-ingest
+                        elif on_error != "strict":
+                            _resume_quarantined(rec, source, idx, on_error,
+                                                report)
+                            continue
+                        # strict + previously quarantined: retry the source
+                try:
+                    with obs_span("ingest.profile", source=source):
+                        gf = _load_one(src, idx, validate, max_retries,
+                                       retry_base_delay, sleep, timings)
+                except ReproError as e:
+                    if ckpt is not None:
+                        ckpt.record_quarantined(source, e.stage,
+                                                type(e).__name__, str(e))
+                    if on_error == "strict":
+                        raise
+                    if on_error == "skip":
+                        warnings.warn(f"skipping profile: {e}", stacklevel=2)
+                    logger.warning("quarantined profile %s [%s]: %s: %s",
+                                   source, e.stage, type(e).__name__, e)
+                    obs_counter("ingest.profiles.quarantined")
+                    report.quarantined.append(
+                        QuarantinedProfile(source=source, stage=e.stage,
+                                           error=e, index=idx))
+                    continue
+                if ckpt is not None:
+                    with _timed(timings, "checkpoint"), \
+                            obs_span("ingest.checkpoint.record",
+                                     source=source):
+                        ckpt.record_ok(source, gf)
+                gfs.append(gf)
+                labelled.append((idx, source))
+            obs_counter("ingest.profiles.loaded", len(gfs))
+
+            with _timed(timings, "compose"), obs_span("ingest.derive_ids"):
+                gfs, labelled, profile_ids = _derive_profile_ids(
+                    gfs, labelled, metadata_key, on_error, report)
+
+            report.loaded = [source for _, source in labelled]
+            if not gfs:
                 if on_error == "strict":
-                    raise
-                if on_error == "skip":
-                    warnings.warn(f"skipping profile: {e}", stacklevel=2)
-                logger.warning("quarantined profile %s [%s]: %s: %s",
-                               source, e.stage, type(e).__name__, e)
-                obs_counter("ingest.profiles.quarantined")
-                report.quarantined.append(
-                    QuarantinedProfile(source=source, stage=e.stage,
-                                       error=e, index=idx))
-                continue
-            gfs.append(gf)
-            labelled.append((idx, source))
-        obs_counter("ingest.profiles.loaded", len(gfs))
+                    raise CompositionError("no profiles could be loaded")
+                logger.error("nothing loadable: all %d profile(s) "
+                             "quarantined", len(sources))
+                return IngestResult(None, report)
 
-        with _timed(timings, "compose"), obs_span("ingest.derive_ids"):
-            gfs, labelled, profile_ids = _derive_profile_ids(
-                gfs, labelled, metadata_key, on_error, report)
-
-        report.loaded = [source for _, source in labelled]
-        if not gfs:
-            if on_error == "strict":
-                raise CompositionError("no profiles could be loaded")
-            logger.error("nothing loadable: all %d profile(s) quarantined",
-                         len(sources))
-            return IngestResult(None, report)
-
-        provenance = {
-            "ingest_policy": on_error,
-            "dropped_profiles": [
-                {"source": q.source, "stage": q.stage,
-                 "error_type": q.error_type, "error": str(q.error)}
-                for q in report.quarantined
-            ],
-            "repaired_profile_ids": [
-                {"source": r.source, "original": r.original,
-                 "repaired": r.repaired}
-                for r in report.repaired
-            ],
-        }
-        with _timed(timings, "compose"), obs_span("ingest.compose",
-                                                  profiles=len(gfs)):
-            tk = Thicket._compose(gfs, profile_ids,
-                                  intersection=intersection,
-                                  fill_perfdata=fill_perfdata,
-                                  provenance=provenance)
-        top.set("loaded", len(gfs))
-        top.set("quarantined", report.n_quarantined)
-        if report.quarantined:
-            logger.info("ingest finished: %d/%d loaded, %d quarantined",
-                        report.n_loaded, report.requested,
-                        report.n_quarantined)
+            provenance = {
+                "ingest_policy": on_error,
+                "dropped_profiles": [
+                    {"source": q.source, "stage": q.stage,
+                     "error_type": q.error_type, "error": str(q.error)}
+                    for q in report.quarantined
+                ],
+                "repaired_profile_ids": [
+                    {"source": r.source, "original": r.original,
+                     "repaired": r.repaired}
+                    for r in report.repaired
+                ],
+            }
+            with _timed(timings, "compose"), obs_span("ingest.compose",
+                                                      profiles=len(gfs)):
+                tk = Thicket._compose(gfs, profile_ids,
+                                      intersection=intersection,
+                                      fill_perfdata=fill_perfdata,
+                                      provenance=provenance)
+            top.set("loaded", len(gfs))
+            top.set("quarantined", report.n_quarantined)
+            if report.resumed or report.resumed_quarantined:
+                top.set("resumed", report.n_resumed)
+                logger.info("checkpoint resume: %d profile(s) rebuilt from "
+                            "journal, %d quarantine(s) skipped",
+                            report.n_resumed, report.resumed_quarantined)
+            if report.quarantined:
+                logger.info("ingest finished: %d/%d loaded, %d quarantined",
+                            report.n_loaded, report.requested,
+                            report.n_quarantined)
+    finally:
+        if ckpt is not None:
+            ckpt.close()
     return IngestResult(tk, report)

@@ -60,6 +60,9 @@ class IngestReport:
     quarantined: list = field(default_factory=list)   # QuarantinedProfile
     repaired: list = field(default_factory=list)      # RepairedProfileId
     stage_seconds: dict = field(default_factory=dict)  # stage -> wall seconds
+    checkpoint_path: str | None = None     # journal dir, when checkpointing
+    resumed: list = field(default_factory=list)  # sources rebuilt from journal
+    resumed_quarantined: int = 0  # quarantines skipped thanks to the journal
 
     @property
     def n_loaded(self) -> int:
@@ -68,6 +71,10 @@ class IngestReport:
     @property
     def n_quarantined(self) -> int:
         return len(self.quarantined)
+
+    @property
+    def n_resumed(self) -> int:
+        return len(self.resumed)
 
     @property
     def ok(self) -> bool:
@@ -87,6 +94,11 @@ class IngestReport:
             f"(policy={self.policy}, quarantined={self.n_quarantined}, "
             f"repaired ids={len(self.repaired)})"
         ]
+        if self.checkpoint_path is not None:
+            lines.append(
+                f"  checkpoint: {self.checkpoint_path} "
+                f"({self.n_resumed} resumed, "
+                f"{self.resumed_quarantined} quarantine(s) skipped)")
         for q in self.quarantined:
             lines.append(f"  - {q.describe()}")
         for r in self.repaired:
@@ -117,6 +129,11 @@ class IngestReport:
             ],
             "stage_seconds": {k: round(v, 6)
                               for k, v in self.stage_seconds.items()},
+            "checkpoint": {
+                "path": self.checkpoint_path,
+                "resumed": self.n_resumed,
+                "resumed_quarantined": self.resumed_quarantined,
+            },
         }
 
 

@@ -1,0 +1,91 @@
+"""Durable-write primitives shared by every on-disk format.
+
+A saved thicket is the unit of durable state in the paper's iterative
+Jupyter workflows, so every writer in the toolkit (thicket store,
+frame JSON, cali-JSON profiles, checkpoint journals) goes through the
+same crash-safety discipline:
+
+* :func:`atomic_write_text` — write to a temp file in the target
+  directory, ``fsync`` it, then ``os.replace`` onto the destination.
+  A crash at any point leaves either the old file or the new file,
+  never a truncated hybrid.
+* :func:`canonical_json` / :func:`sha256_of` — one canonical byte
+  encoding per JSON payload, so content checksums are reproducible
+  across save → load → save cycles.
+* :func:`crc32_of` — cheap per-record checksum for append-only
+  journal lines, where a full sha256 per record would be overkill.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import zlib
+from pathlib import Path
+from typing import Any
+
+__all__ = ["atomic_write_text", "canonical_json", "sha256_of", "crc32_of",
+           "fsync_path"]
+
+
+def canonical_json(payload: Any) -> str:
+    """The canonical encoding used for checksums: sorted keys, compact
+    separators, no NaN literals (they are mapped to ``null`` upstream)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def sha256_of(text: str) -> str:
+    """``sha256:<hex>`` digest of *text* (UTF-8)."""
+    return "sha256:" + hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def crc32_of(text: str) -> int:
+    """Unsigned CRC-32 of *text* (UTF-8), for journal records."""
+    return zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+
+
+def fsync_path(path: Path) -> None:
+    """Best-effort fsync of a file or directory (no-op where unsupported)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Crash-safely replace *path* with *text*.
+
+    The text is written to a ``NamedTemporaryFile`` in the destination
+    directory, flushed and fsynced, and moved into place with
+    ``os.replace`` (atomic on POSIX and Windows for same-filesystem
+    paths).  The parent directory is fsynced afterwards so the rename
+    itself is durable.  On any failure the temp file is removed and the
+    previous contents of *path* are untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    fsync_path(path.parent)
+    return path

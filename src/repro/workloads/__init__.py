@@ -4,9 +4,11 @@ from .campaign import (
     CORRUPTION_MODES,
     MARBL_CAMPAIGN,
     RAJA_CAMPAIGN,
+    STORE_CORRUPTION_MODES,
     MarblConfig,
     RajaConfig,
     corrupt_campaign,
+    corrupt_store,
     iter_marbl_profiles,
     iter_raja_profiles,
     load_campaign,
@@ -59,4 +61,5 @@ __all__ = [
     "MarblConfig", "MARBL_CAMPAIGN", "marbl_campaign_table",
     "iter_marbl_profiles", "write_marbl_campaign",
     "load_campaign", "corrupt_campaign", "CORRUPTION_MODES",
+    "corrupt_store", "STORE_CORRUPTION_MODES",
 ]

@@ -41,6 +41,8 @@ __all__ = [
     "load_campaign",
     "corrupt_campaign",
     "CORRUPTION_MODES",
+    "corrupt_store",
+    "STORE_CORRUPTION_MODES",
 ]
 
 _DEFAULT_SIZES = (1048576, 2097152, 4194304, 8388608)
@@ -283,6 +285,74 @@ CORRUPTION_MODES = {
     "dangling_parent": _corrupt_dangling_parent,
     "duplicate_row": _corrupt_duplicate_row,
 }
+
+
+# ----------------------------------------------------------------------
+# durable-store fault injection (thicket stores + checkpoint journals)
+# ----------------------------------------------------------------------
+
+def _store_truncate(path: Path, rng: random.Random) -> None:
+    """Chop the store mid-document, as a crash during a non-atomic
+    write would (the exact failure the atomic writer prevents)."""
+    data = path.read_bytes()
+    path.write_bytes(data[: max(1, len(data) // 2)])
+
+
+def _store_byte_flip(path: Path, rng: random.Random) -> None:
+    """Flip one byte somewhere in the document body (bit rot)."""
+    data = bytearray(path.read_bytes())
+    i = rng.randrange(len(data) // 4, len(data))  # skip the envelope head
+    data[i] ^= 0x20
+    path.write_bytes(bytes(data))
+
+
+def _store_checksum_mismatch(path: Path, rng: random.Random) -> None:
+    """Alter the payload but keep the document valid JSON, so only the
+    embedded checksum can catch the tampering."""
+    doc = json.loads(path.read_text())
+    payload = doc.get("payload", doc)
+    profiles = payload.get("profiles")
+    if isinstance(profiles, list):
+        profiles.append("<tampered>")
+    else:  # non-thicket JSON: perturb whatever is there
+        payload["<tampered>"] = True
+    path.write_text(json.dumps(doc, separators=(",", ":")))
+
+
+def _store_journal_tail_chop(path: Path, rng: random.Random) -> None:
+    """Tear the final record of an append-only journal, as a crash
+    mid-append would."""
+    data = path.read_bytes()
+    path.write_bytes(data[: max(1, len(data) - rng.randrange(2, 40))])
+
+
+STORE_CORRUPTION_MODES = {
+    "truncate": _store_truncate,
+    "byte_flip": _store_byte_flip,
+    "checksum_mismatch": _store_checksum_mismatch,
+    "journal_tail_chop": _store_journal_tail_chop,
+}
+
+
+def corrupt_store(path: str | Path, mode: str, seed: int = 0) -> Path:
+    """Deterministically corrupt a durable store file in place.
+
+    The store-level sibling of :func:`corrupt_campaign`: *path* is a
+    saved thicket store (any mode) or a checkpoint ``journal.jsonl``
+    (``journal_tail_chop``), *mode* one of
+    :data:`STORE_CORRUPTION_MODES`, and *seed* drives the deterministic
+    RNG.  Returns *path* — the ground truth a corruption-detection test
+    checks ``load_thicket`` / ``CheckpointJournal`` against.
+    """
+    if mode not in STORE_CORRUPTION_MODES:
+        raise ValueError(
+            f"unknown store corruption mode {mode!r}; "
+            f"choose from {sorted(STORE_CORRUPTION_MODES)}")
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no store to corrupt at {path}")
+    STORE_CORRUPTION_MODES[mode](path, random.Random(seed))
+    return path
 
 
 def corrupt_campaign(paths: Sequence[str | Path], fraction: float = 0.05,

@@ -183,6 +183,86 @@ class TestIngestCommand:
         assert rc == 2
 
 
+class TestIngestCheckpointAndSave:
+    def test_save_writes_a_loadable_store(self, marbl_dir, tmp_path,
+                                          capsys):
+        from repro.core.io import load_thicket
+
+        store = tmp_path / "tk.json"
+        assert main(["ingest", marbl_dir, "--save", str(store)]) == 0
+        assert f"saved: {store}" in capsys.readouterr().out
+        assert len(load_thicket(store).profile) == 12
+
+    def test_checkpoint_resumes_on_second_run(self, marbl_dir, tmp_path,
+                                              capsys):
+        import json
+
+        ckpt = tmp_path / "ckpt"
+        assert main(["ingest", marbl_dir, "--checkpoint", str(ckpt)]) == 0
+        capsys.readouterr()
+        assert main(["ingest", marbl_dir, "--checkpoint", str(ckpt),
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["checkpoint"]["path"] == str(ckpt)
+        assert report["checkpoint"]["resumed"] == 12
+
+    def test_checkpoint_summary_line(self, marbl_dir, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        main(["ingest", marbl_dir, "--checkpoint", str(ckpt)])
+        capsys.readouterr()
+        assert main(["ingest", marbl_dir, "--checkpoint", str(ckpt)]) == 0
+        assert "12 resumed" in capsys.readouterr().out
+
+
+class TestValidateCommand:
+    @pytest.fixture
+    def store(self, marbl_dir, tmp_path, capsys):
+        path = tmp_path / "tk.json"
+        assert main(["ingest", marbl_dir, "--save", str(path)]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_good_store_exits_0(self, store, capsys):
+        assert main(["validate", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "checksum ok" in out
+        assert "validate: ok" in out
+
+    def test_corrupt_store_exits_4(self, store, capsys):
+        from repro.workloads import corrupt_store
+
+        corrupt_store(store, "byte_flip")
+        assert main(["validate", str(store)]) == 4
+        assert "CorruptStoreError" in capsys.readouterr().err
+
+    def test_missing_store_exits_4(self, tmp_path, capsys):
+        assert main(["validate", str(tmp_path / "nope.json")]) == 4
+        assert "PersistenceError" in capsys.readouterr().err
+
+    def test_inconsistent_store_exits_4_and_repair_fixes(self, store,
+                                                         capsys):
+        from repro.core.io import load_thicket, save_thicket
+
+        tk = load_thicket(store)
+        tk.exc_metrics = list(tk.exc_metrics) + ["ghost"]
+        save_thicket(tk, store)
+        assert main(["validate", str(store)]) == 4
+        capsys.readouterr()
+        assert main(["validate", str(store), "--repair"]) == 0
+        assert "repaired" in capsys.readouterr().out
+        # the repair was re-saved, so a fresh check is clean
+        assert main(["validate", str(store)]) == 0
+
+    def test_json_report(self, store, capsys):
+        import json
+
+        assert main(["validate", str(store), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["store"] == str(store)
+        assert doc["issues"] == []
+
+
 class TestObservabilityFlags:
     @pytest.fixture(autouse=True)
     def _quiesce_telemetry(self):
@@ -287,9 +367,13 @@ class TestIngestJsonSchema:
         assert main(["ingest", marbl_dir, "--json"]) == 0
         report = json.loads(capsys.readouterr().out)
         assert set(report) == {"policy", "requested", "loaded",
-                               "quarantined", "repaired", "stage_seconds"}
+                               "quarantined", "repaired", "stage_seconds",
+                               "checkpoint"}
         assert set(report["stage_seconds"]) == {
             "read", "validate", "build", "compose"}
         assert all(isinstance(v, float) and v >= 0
                    for v in report["stage_seconds"].values())
+        assert set(report["checkpoint"]) == {"path", "resumed",
+                                             "resumed_quarantined"}
+        assert report["checkpoint"]["path"] is None  # no --checkpoint given
         assert report["requested"] == 12
