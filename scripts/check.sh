@@ -16,6 +16,13 @@ python -m pytest -x -q
 echo "== compileall (warnings are errors) =="
 python -W error -m compileall -q src
 
+echo "== static analysis (repro lint) =="
+# Hard gate: the source tree must carry zero unsuppressed findings.
+# LINT_OUT can be pointed at a CI workspace path for artifact upload.
+LINT_OUT="${LINT_OUT:-$(pwd)/lint-report.json}"
+python -m repro lint src/repro --json > "$LINT_OUT" || true
+python -m repro lint src/repro
+
 echo "== ingestion benchmark smoke =="
 python -m pytest benchmarks/bench_ingest_faulty.py -q \
     --benchmark-disable

@@ -20,7 +20,9 @@ class AdiakCollector:
 
     def __init__(self, auto: bool = True, clock=None):
         self._values: dict[str, Any] = {}
-        self._clock = clock or (lambda: _dt.datetime.now())
+        # this IS the injectable clock seam: datetime.now is only the
+        # default when no clock is supplied
+        self._clock = clock or (lambda: _dt.datetime.now())  # repro: noqa[RPR004]
         if auto:
             self.collect_environment()
 
@@ -35,7 +37,9 @@ class AdiakCollector:
         """Record the standard implicit facts Adiak gathers."""
         try:
             user = getpass.getuser()
-        except Exception:  # pragma: no cover - environment-dependent
+        except (KeyError, OSError):  # pragma: no cover - no passwd entry
+            # getpass.getuser raises KeyError when the uid has no passwd
+            # entry and OSError when the lookup itself fails
             user = "unknown"
         self._values.setdefault("user", user)
         self._values.setdefault("launchdate",

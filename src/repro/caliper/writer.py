@@ -90,4 +90,4 @@ def write_cali_json(profile: Mapping[str, Any], path: str | Path) -> Path:
 
     path = Path(path)
     payload = profile_to_cali_dict(profile)
-    return atomic_write_text(path, json.dumps(payload))
+    return atomic_write_text(path, json.dumps(payload, sort_keys=True))

@@ -19,6 +19,7 @@ the "quick look before opening a notebook" path::
     python -m repro validate   tk.json
     python -m repro --trace trace.json ingest profiles/
     python -m repro obs        trace.json --tree
+    python -m repro lint       src/repro --json
 
 Every subcommand takes ``--on-error {strict,skip,collect}`` (default
 ``strict``): ``skip``/``collect`` quarantine corrupt profiles instead
@@ -44,7 +45,9 @@ Exit codes: 0 success; 1 command-level failure (e.g. no query match);
 2 ingestion failed (strict error, or nothing loadable); 3 partial
 ingestion (the command succeeded but profiles were quarantined);
 4 corrupt or unreadable durable store (failed checksum, truncated
-file, or broken structural invariants under ``repro validate``).
+file, or broken structural invariants under ``repro validate``);
+5 static-analysis findings (``repro lint`` found unsuppressed rule
+violations).
 """
 
 from __future__ import annotations
@@ -56,12 +59,13 @@ from typing import Sequence
 
 __all__ = ["main", "build_parser",
            "EXIT_OK", "EXIT_INGEST_FAILURE", "EXIT_PARTIAL_INGEST",
-           "EXIT_CORRUPT_STORE"]
+           "EXIT_CORRUPT_STORE", "EXIT_LINT_FINDINGS"]
 
 EXIT_OK = 0
 EXIT_INGEST_FAILURE = 2
 EXIT_PARTIAL_INGEST = 3
 EXIT_CORRUPT_STORE = 4
+EXIT_LINT_FINDINGS = 5
 
 
 def _profile_paths(profile_dir: str) -> list[Path]:
@@ -197,7 +201,7 @@ def _cmd_ingest(args) -> int:
                                checkpoint=args.checkpoint)
     args._ingest_report = report
     if args.json:
-        print(json_mod.dumps(report.to_dict(), indent=2))
+        print(json_mod.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
         print(report.summary())
         if tk is not None:
@@ -269,6 +273,26 @@ def _cmd_obs(args) -> int:
         print()
         print(tk.tree(metric_column=args.metric, precision=args.precision))
     return 0
+
+
+def _cmd_lint(args) -> int:
+    """Run the repo's static-analysis rules over source trees/files."""
+    from .lint import format_json, format_text, run_lint
+
+    def rule_ids(text):
+        return [r.strip() for r in text.split(",") if r.strip()] \
+            if text else None
+
+    try:
+        result = run_lint(args.paths, select=rule_ids(args.select),
+                          ignore=rule_ids(args.ignore))
+    except ValueError as e:  # unknown rule id in --select/--ignore
+        raise SystemExit(f"lint: {e}") from e
+    if args.json:
+        print(format_json(result))
+    else:
+        print(format_text(result))
+    return EXIT_OK if result.ok else EXIT_LINT_FINDINGS
 
 
 def _add_obs_flags(parser, suppress: bool = False,
@@ -374,6 +398,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--node", required=True)
     p.add_argument("--metric", required=True)
     p.add_argument("--resource", default="numhosts")
+
+    p = sub.add_parser("lint",
+                       help="run the repo's AST static-analysis rules "
+                            "(hardening invariants + query literals)")
+    p.add_argument("paths", nargs="+", metavar="PATH",
+                   help="Python files or directories to lint")
+    p.add_argument("--select", metavar="RULES", default=None,
+                   help="comma-separated rule ids to run (default: all)")
+    p.add_argument("--ignore", metavar="RULES", default=None,
+                   help="comma-separated rule ids to skip")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable findings report")
+    _add_obs_flags(p, suppress=True)
+    p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser("obs", help="summarize a --trace file "
                                    "(span table, metrics, span tree)")

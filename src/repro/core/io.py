@@ -138,7 +138,7 @@ def thicket_to_json(tk) -> str:
         {"format": FORMAT_V2,
          "checksum": sha256_of(canonical_json(payload)),
          "payload": payload},
-        separators=(",", ":"))
+        separators=(",", ":"), sort_keys=True)
 
 
 def _payload_to_thicket(payload: dict):

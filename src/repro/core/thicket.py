@@ -248,6 +248,7 @@ class Thicket:
                 f"rows={len(self.dataframe)})")
 
     def copy(self) -> "Thicket":
+        """Deep-copy the tables; share the (immutable) graph nodes."""
         return Thicket(self.graph, self.dataframe.copy(), self.metadata.copy(),
                        statsframe=self.statsframe.copy(),
                        profiles=list(self.profile),
@@ -278,28 +279,57 @@ class Thicket:
     # manipulation (§4.1) — implemented in sibling modules
     # ------------------------------------------------------------------
     def filter_metadata(self, predicate: Callable[[dict], bool]) -> "Thicket":
+        """Keep only profiles whose metadata row satisfies *predicate*."""
         from .filtering import filter_metadata
 
         return filter_metadata(self, predicate)
 
     def filter_stats(self, predicate: Callable[[dict], bool]) -> "Thicket":
+        """Keep only graph nodes whose statsframe row satisfies *predicate*."""
         from .filtering import filter_stats
 
         return filter_stats(self, predicate)
 
     def filter_profile(self, profiles: Sequence[Any]) -> "Thicket":
+        """Keep only the listed profile ids (§4.1.1)."""
         from .filtering import filter_profile
 
         return filter_profile(self, profiles)
 
     def groupby(self, by: str | Sequence[str]):
+        """Partition into sub-thickets by metadata column(s) (§4.1.2)."""
         from .groupby import groupby_metadata
 
         return groupby_metadata(self, by)
 
-    def query(self, matcher, squash: bool = True) -> "Thicket":
+    def query(self, matcher, squash: bool = True,
+              validate: bool = True) -> "Thicket":
+        """Filter to the call paths matched by *matcher* (§4.1.3).
+
+        *matcher* may be a :class:`~repro.query.QueryMatcher`, a
+        string-dialect query (``'MATCH (".", p) WHERE p."name" = …'``),
+        or an object-dialect spec list.
+
+        With ``validate=True`` (the default) the query is statically
+        checked against this thicket first —
+        :func:`repro.query.validate_query` — so a misspelled metric,
+        a type-mismatched predicate, or an unsatisfiable quantifier
+        sequence raises :class:`~repro.errors.QueryValidationError`
+        (with did-you-mean suggestions) *before* any matching work,
+        instead of silently matching nothing.  ``validate=False``
+        restores the old fail-late behaviour.
+        """
+        from ..query import QueryMatcher, parse_string_dialect
         from .querying import query_thicket
 
+        if isinstance(matcher, str):
+            matcher = parse_string_dialect(matcher)
+        elif isinstance(matcher, (list, tuple)):
+            matcher = QueryMatcher.from_spec(matcher)
+        if validate:
+            from ..query import validate_query
+
+            validate_query(matcher, self)
         return query_thicket(self, matcher, squash=squash)
 
     # ------------------------------------------------------------------
@@ -341,23 +371,27 @@ class Thicket:
     # persistence and display conveniences
     # ------------------------------------------------------------------
     def to_json(self) -> str:
+        """Serialize to the checksummed v2 store document (a string)."""
         from .io import thicket_to_json
 
         return thicket_to_json(self)
 
     @classmethod
     def from_json(cls, text: str) -> "Thicket":
+        """Rebuild from :meth:`to_json` output (v1 or v2 accepted)."""
         from .io import thicket_from_json
 
         return thicket_from_json(text)
 
     def save(self, path) -> Path:
+        """Atomically write the checksummed store to *path*."""
         from .io import save_thicket
 
         return save_thicket(self, path)
 
     @classmethod
     def load(cls, path, verify: bool = False) -> "Thicket":
+        """Load a store; ``verify=True`` also checks structural invariants."""
         from .io import load_thicket
 
         return load_thicket(path, verify=verify)
@@ -375,12 +409,14 @@ class Thicket:
         return validate_thicket(self, repair=repair)
 
     def display_heatmap(self, columns=None, svg_path=None, **kwargs) -> str:
+        """Render the statsframe as a node×column heatmap (text/SVG)."""
         from .display import display_heatmap
 
         return display_heatmap(self, columns=columns, svg_path=svg_path,
                                **kwargs)
 
     def display_histogram(self, node_name: str, column, **kwargs) -> str:
+        """Render the per-profile metric distribution at one node."""
         from .display import display_histogram
 
         return display_histogram(self, node_name, column, **kwargs)

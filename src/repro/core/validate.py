@@ -39,6 +39,7 @@ class ValidationIssue:
     count: int = 1     # how many entries are affected
 
     def describe(self) -> str:
+        """One-line ``[code] message (repairable?)`` rendering."""
         tag = "repairable" if self.repairable else "NOT repairable"
         return f"[{self.code}] {self.message} ({tag})"
 
@@ -61,6 +62,7 @@ class ValidationReport:
         return all(i.repairable for i in self.issues)
 
     def summary(self) -> str:
+        """Multi-line human-readable report of issues and repairs."""
         if self.ok and not self.repaired:
             return "validate: ok (all structural invariants hold)"
         lines = [f"validate: {len(self.issues)} issue(s), "
@@ -72,6 +74,7 @@ class ValidationReport:
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
+        """JSON-ready dict (used by ``repro validate --json``)."""
         return {
             "ok": self.ok,
             "issues": [

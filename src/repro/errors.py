@@ -19,8 +19,10 @@ Hierarchy::
     │   └── SchemaError        payload present but structurally invalid
     ├── CompositionError       ensemble-level failures (also ValueError)
     │   └── ProfileConflictError   colliding / unusable profile ids
-    └── PersistenceError       durable-store write/read failures (also ValueError)
-        └── CorruptStoreError  store exists but fails checksum / structure
+    ├── PersistenceError       durable-store write/read failures (also ValueError)
+    │   └── CorruptStoreError  store exists but fails checksum / structure
+    └── QueryValidationError   a query is statically invalid for a thicket
+                               (also ValueError)
 
 ``CompositionError`` doubles as a ``ValueError`` so that pre-existing
 callers catching ``ValueError`` around :meth:`Thicket.from_caliperreader`
@@ -40,6 +42,7 @@ __all__ = [
     "ProfileConflictError",
     "PersistenceError",
     "CorruptStoreError",
+    "QueryValidationError",
 ]
 
 
@@ -101,6 +104,33 @@ class PersistenceError(ReproError, ValueError):
     """
 
     default_stage = "persist"
+
+
+class QueryValidationError(ReproError, ValueError):
+    """A call-path query is statically invalid for a given thicket.
+
+    Raised by :func:`repro.query.validate_query` (and therefore by
+    :meth:`Thicket.query` with ``validate=True``, the default) *before*
+    any path matching runs: unknown metric / metadata column names
+    (with did-you-mean suggestions), predicate type mismatches (a
+    string operation applied to a float metric), comparisons on
+    identifiers never bound in ``MATCH``, and quantifier sequences no
+    path in the call tree could ever satisfy.
+
+    ``problems`` lists every violation found (the message joins them);
+    ``suggestions`` maps each unknown column name to its nearest valid
+    candidates.
+    """
+
+    default_stage = "validate"
+
+    def __init__(self, message: str, *,
+                 problems: "list[str] | None" = None,
+                 suggestions: "dict[str, list[str]] | None" = None,
+                 source: Any = None):
+        self.problems = list(problems or [message])
+        self.suggestions = dict(suggestions or {})
+        super().__init__(message, source=source, stage="validate")
 
 
 class CorruptStoreError(PersistenceError):

@@ -43,7 +43,7 @@ def to_csv(df: DataFrame, path: str | Path | None = None) -> str | None:
     text = buf.getvalue()
     if path is None:
         return text
-    Path(path).write_text(text)
+    atomic_write_text(Path(path), text)
     return None
 
 
@@ -91,7 +91,7 @@ def to_json(df: DataFrame, path: str | Path | None = None) -> str | None:
             for i in range(len(df))
         ],
     }
-    text = json.dumps(payload, indent=1)
+    text = json.dumps(payload, indent=1, sort_keys=True)
     if path is None:
         return text
     atomic_write_text(Path(path), text)

@@ -235,6 +235,7 @@ class CheckpointJournal:
         return self.records.get(key)
 
     def payload_path(self, key: str) -> Path:
+        """Where *key*'s saved GraphFrame payload lives (content-hashed)."""
         digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:24]
         return self.profiles_dir / f"{digest}.json"
 
@@ -242,14 +243,17 @@ class CheckpointJournal:
         """Durably record a successful ingest: payload first, then the
         journal line (so an ``ok`` record always has its payload)."""
         path = self.payload_path(key)
-        atomic_write_text(path, json.dumps(_gf_to_payload(gf),
-                                           separators=(",", ":")))
+        # key order is semantic here: the metadata mapping must round-trip
+        # in insertion order so a resumed profile composes byte-identically
+        atomic_write_text(path, json.dumps(  # repro: noqa[RPR005]
+            _gf_to_payload(gf), separators=(",", ":")))
         self._append({"kind": "profile", "key": key, "status": "ok",
                       "payload": path.name})
         obs_counter("ingest.checkpoint.recorded")
 
     def record_quarantined(self, key: str, stage: str, error_type: str,
                            error: str) -> None:
+        """Durably record a failed ingest so a resume can skip it."""
         self._append({"kind": "profile", "key": key,
                       "status": "quarantined", "stage": stage,
                       "error_type": error_type, "error": error})
@@ -277,6 +281,7 @@ class CheckpointJournal:
             return None
 
     def close(self) -> None:
+        """Close the journal handle and fsync the checkpoint directory."""
         if not self._fh.closed:
             self._fh.close()
         fsync_path(self.directory)

@@ -30,9 +30,11 @@ class QuarantinedProfile:
 
     @property
     def error_type(self) -> str:
+        """Class name of the typed error, e.g. ``SchemaError``."""
         return type(self.error).__name__
 
     def describe(self) -> str:
+        """One-line ``source [stage] ErrorType: message`` rendering."""
         return (f"{self.source} [{self.stage}] "
                 f"{self.error_type}: {self.error}")
 
@@ -46,6 +48,7 @@ class RepairedProfileId:
     repaired: Any
 
     def describe(self) -> str:
+        """One-line description of the collision and its repair."""
         return (f"{self.source}: profile id {self.original!r} collided, "
                 f"repaired to {self.repaired!r}")
 
@@ -66,14 +69,17 @@ class IngestReport:
 
     @property
     def n_loaded(self) -> int:
+        """Number of profiles that made it into the thicket."""
         return len(self.loaded)
 
     @property
     def n_quarantined(self) -> int:
+        """Number of profiles set aside with a typed error."""
         return len(self.quarantined)
 
     @property
     def n_resumed(self) -> int:
+        """Number of profiles rebuilt from the checkpoint journal."""
         return len(self.resumed)
 
     @property
@@ -82,6 +88,7 @@ class IngestReport:
         return not self.quarantined and not self.repaired
 
     def errors_by_stage(self) -> dict[str, int]:
+        """Quarantine counts keyed by failing pipeline stage."""
         out: dict[str, int] = {}
         for q in self.quarantined:
             out[q.stage] = out.get(q.stage, 0) + 1

@@ -1,0 +1,50 @@
+"""``repro.lint`` — AST-based static analysis for the toolkit.
+
+Two rule families over one engine (:mod:`repro.lint.engine`):
+
+* **Repo invariants** (:mod:`repro.lint.rules_repo`, ``RPR001``–
+  ``RPR006``): the hardening discipline introduced by earlier PRs —
+  typed errors, atomic writes, injectable clocks, deterministic
+  serialization, documented public API — enforced mechanically
+  instead of by convention.  ``scripts/check.sh`` and CI run these
+  over ``src/repro`` as a hard gate.
+* **Query literals** (:mod:`repro.lint.rules_query`, ``RPQ101``–
+  ``RPQ102``): string/object-dialect call-path queries embedded as
+  literals in any linted source are compiled at lint time, so a
+  malformed query fails the lint run, not the analysis run.
+
+Violations are suppressed per line with ``# repro: noqa[RULE-ID]``
+(comma-separated for several rules); a suppression that matches no
+finding is itself reported as ``RPR000`` so stale noqa comments
+cannot accumulate.
+
+CLI: ``repro lint PATH... [--json] [--select IDS] [--ignore IDS]``,
+exit code 5 when any unsuppressed finding remains.
+
+Runtime query checking — validating a *parsed* query against a
+concrete thicket before execution — lives in
+:func:`repro.query.validate_query` and runs by default from
+:meth:`Thicket.query`.
+"""
+
+from . import rules_query, rules_repo  # noqa: F401  (register built-ins)
+from .engine import (
+    FileContext,
+    Finding,
+    LintResult,
+    Rule,
+    all_rules,
+    lint_file,
+    register,
+    run_lint,
+)
+from .reporters import format_json, format_text
+from .rules_query import QUERY_RULE_IDS
+from .rules_repo import REPO_RULE_IDS
+
+__all__ = [
+    "Finding", "Rule", "FileContext", "LintResult",
+    "run_lint", "lint_file", "register", "all_rules",
+    "format_text", "format_json",
+    "REPO_RULE_IDS", "QUERY_RULE_IDS",
+]

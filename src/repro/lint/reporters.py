@@ -1,0 +1,38 @@
+"""Rendering of lint results: terminal text and machine-readable JSON.
+
+The text format is the familiar ``path:line:col: RULE severity:
+message`` shape editors and CI log scrapers already understand; the
+JSON format is the ``--json`` payload ``scripts/check.sh`` uploads as
+a CI artifact.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintResult
+
+__all__ = ["format_text", "format_json"]
+
+
+def format_text(result: LintResult) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col + 1}: {f.rule_id} {f.severity}: "
+        f"{f.message}"
+        for f in result.findings
+    ]
+    if result.findings:
+        by_rule = ", ".join(f"{rid}×{n}" for rid, n
+                            in result.counts_by_rule().items())
+        lines.append(f"{len(result.findings)} finding(s) in "
+                     f"{result.n_files} file(s): {by_rule}")
+    else:
+        lines.append(f"{result.n_files} file(s) clean "
+                     f"({len(result.rules)} rules)")
+    return "\n".join(lines)
+
+
+def format_json(result: LintResult) -> str:
+    """Machine-readable report (deterministic key order)."""
+    return json.dumps(result.to_dict(), indent=2, sort_keys=True)

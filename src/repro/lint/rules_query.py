@@ -1,0 +1,105 @@
+"""Family B: static validation of call-path queries embedded in code.
+
+Analysis scripts bake queries into source as literals — string-dialect
+queries passed to ``parse_string_dialect`` / ``Thicket.query`` and
+object-dialect specs passed to ``QueryMatcher.from_spec``.  Both fail
+only when the script finally runs (Cankur et al. and Pipit both argue
+scripted performance analysis needs fail-early checking).  These rules
+compile every *literal* query found in the linted source at lint time,
+so a malformed query is a finding, not a runtime surprise three stages
+into an analysis.
+
+Dynamically built queries (f-strings, variables) are skipped — only
+constants are checked, so there are no false positives.
+
+======  ==============================================================
+RPQ101  string-dialect query literals must parse
+RPQ102  object-dialect spec literals must have valid steps/quantifiers
+======  ==============================================================
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .engine import FileContext, Rule, register
+
+__all__ = ["QUERY_RULE_IDS"]
+
+
+def _func_name(node: ast.Call) -> str:
+    f = node.func
+    if isinstance(f, ast.Attribute):
+        return f.attr
+    if isinstance(f, ast.Name):
+        return f.id
+    return ""
+
+
+@register
+class QueryStringLiteralRule(Rule):
+    rule_id = "RPQ101"
+    severity = "error"
+    description = ("string-dialect query literals passed to "
+                   "parse_string_dialect()/.query() must parse")
+    rationale = ("a malformed query otherwise fails only at match time, "
+                 "deep inside an analysis run")
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        name = _func_name(node)
+        if name not in ("parse_string_dialect", "query") or not node.args:
+            return
+        arg = node.args[0]
+        if not (isinstance(arg, ast.Constant) and isinstance(arg.value, str)):
+            return
+        text = arg.value
+        # .query(...) also accepts matchers and specs; only strings that
+        # look like the dialect are checked, so unrelated .query() APIs
+        # (e.g. a SQL string) are never flagged
+        if name == "query" and not text.lstrip().upper().startswith("MATCH"):
+            return
+        from ..query.dialect import QuerySyntaxError, parse_string_dialect
+
+        try:
+            parse_string_dialect(text)
+        except QuerySyntaxError as exc:
+            ctx.report(self, arg,
+                       f"query literal does not parse: {exc}")
+
+
+@register
+class QuerySpecLiteralRule(Rule):
+    rule_id = "RPQ102"
+    severity = "error"
+    description = ("object-dialect spec literals passed to "
+                   "QueryMatcher.from_spec() must have valid steps")
+    rationale = ("a bad quantifier or malformed step otherwise raises a "
+                 "bare ValueError when the spec is finally compiled")
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        if _func_name(node) != "from_spec" or not node.args:
+            return
+        spec = node.args[0]
+        if not isinstance(spec, (ast.List, ast.Tuple)):
+            return
+        from ..query.primitives import parse_quantifier
+
+        for step in spec.elts:
+            if not isinstance(step, (ast.List, ast.Tuple)):
+                continue  # computed step: not statically checkable
+            if len(step.elts) not in (1, 2):
+                ctx.report(self, step,
+                           f"query spec step has {len(step.elts)} "
+                           f"element(s); expected (quantifier,) or "
+                           f"(quantifier, attrs)")
+                continue
+            quant = step.elts[0]
+            if isinstance(quant, ast.Constant):
+                try:
+                    parse_quantifier(quant.value)
+                except (TypeError, ValueError) as exc:
+                    ctx.report(self, quant,
+                               f"bad quantifier in query spec: {exc}")
+
+
+QUERY_RULE_IDS = ["RPQ101", "RPQ102"]

@@ -1,0 +1,327 @@
+"""Family A: rules enforcing this repository's hardening invariants.
+
+PRs 1–3 established discipline that, until now, existed only by
+convention: failures surface as the typed :class:`~repro.errors`
+hierarchy, durable writes go through the :mod:`repro.ioutil` atomic
+primitives, wall-clock reads stay behind injectable clock seams, and
+serialization iterates deterministically.  Each rule here turns one of
+those conventions into a machine-checked invariant; ``scripts/check.sh``
+and CI run them over ``src/repro`` as a hard gate.
+
+======  ==============================================================
+RPR001  no bare/broad ``except`` without re-raise or justification
+RPR002  raises must be typed ``ReproError``\\ s or per-module builtins
+RPR003  durable writes must route through ``ioutil.atomic_write_text``
+RPR004  no wall-clock reads outside the clock-service seams
+RPR005  deterministic serialization (sorted keys, no unsorted sets)
+RPR006  public API functions must carry docstrings
+======  ==============================================================
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .engine import FileContext, Rule, register
+
+__all__ = ["REPO_RULE_IDS"]
+
+
+def _dotted(node: ast.AST) -> str:
+    """Best-effort dotted name of an expression (``a.b.c`` → "a.b.c")."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+_BROAD = {"Exception", "BaseException"}
+
+
+@register
+class BroadExceptRule(Rule):
+    rule_id = "RPR001"
+    severity = "error"
+    description = ("bare or broad except (Exception/BaseException) without "
+                   "a re-raise or an explicit justification comment")
+    rationale = ("a blanket handler swallows typed ReproErrors and "
+                 "programming bugs alike; catch what you expect, re-raise, "
+                 "or justify the breadth on the except line")
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler,
+                            ctx: FileContext) -> None:
+        if not self._is_broad(node.type):
+            return
+        # a handler that re-raises (bare `raise` anywhere in its body)
+        # is cleanup, not swallowing
+        for sub in ast.walk(ast.Module(body=node.body, type_ignores=[])):
+            if isinstance(sub, ast.Raise) and sub.exc is None:
+                return
+        # `# pragma` on the except line is accepted as justification
+        # (matching the pre-existing convention in this repo)
+        if "pragma" in ctx.line_text(node.lineno):
+            return
+        caught = _dotted(node.type) if node.type is not None else "everything"
+        ctx.report(self, node,
+                   f"broad except catching {caught} without re-raise or "
+                   f"justification; catch specific exceptions or add a "
+                   f"'# pragma: ...' justification")
+
+    @staticmethod
+    def _is_broad(type_node: ast.AST | None) -> bool:
+        if type_node is None:
+            return True
+        if isinstance(type_node, ast.Tuple):
+            return any(BroadExceptRule._is_broad(e) for e in type_node.elts)
+        return _dotted(type_node).split(".")[-1] in _BROAD
+
+
+def _typed_error_names() -> set[str]:
+    """Names of the repo's typed exception hierarchy, kept in sync with
+    :mod:`repro.errors` by introspection rather than a literal copy."""
+    from .. import errors
+
+    names = set(errors.__all__)
+    names.update({"QuerySyntaxError"})  # typed, but lives in repro.query
+    return names
+
+
+@register
+class TypedRaiseRule(Rule):
+    rule_id = "RPR002"
+    severity = "error"
+    description = ("raised exceptions must be typed ReproError subclasses "
+                   "or builtins whitelisted for the module")
+    rationale = ("a raw KeyError deep in a reader names neither the file "
+                 "nor the stage that failed; the typed hierarchy carries "
+                 "both (PR 1)")
+
+    # builtins every module may raise: the substrate layers (frame,
+    # graph, learn, …) are numpy/pandas-style libraries where these are
+    # the expected contract
+    GLOBAL_BUILTINS = {"ValueError", "TypeError", "KeyError", "IndexError",
+                       "NotImplementedError", "AssertionError",
+                       "StopIteration"}
+    # per-module additions, each justified where it is granted
+    MODULE_BUILTINS = {
+        "cli.py": {"SystemExit"},        # argparse-style CLI exits
+        "caliper/": {"RuntimeError"},    # begin/end protocol misuse
+        "learn/": {"RuntimeError"},      # sklearn "not fitted" idiom
+        "workloads/": {"FileNotFoundError"},  # fault injectors address files
+    }
+    # modules where even GLOBAL_BUILTINS are banned: every failure on
+    # these paths must carry source + stage attribution
+    STRICT_MODULES = ("readers/", "ingest/", "core/io.py")
+
+    def begin_file(self, ctx: FileContext) -> None:
+        self.typed = _typed_error_names()
+
+    def visit_Raise(self, node: ast.Raise, ctx: FileContext) -> None:
+        if node.exc is None:  # bare re-raise
+            return
+        target = node.exc
+        if isinstance(target, ast.Call):
+            target = target.func
+        name = _dotted(target).split(".")[-1]
+        if not name or not name[0].isupper():
+            return  # re-raising a variable; type unknowable statically
+        if name in self.typed:
+            return
+        if ctx.module_matches(self.STRICT_MODULES):
+            ctx.report(self, node,
+                       f"raise {name} in strict module {ctx.module}: "
+                       f"ingestion/reader/store paths must raise typed "
+                       f"ReproError subclasses with source+stage")
+            return
+        allowed = set(self.GLOBAL_BUILTINS)
+        for pattern, extra in self.MODULE_BUILTINS.items():
+            if ctx.module_matches((pattern,)):
+                allowed |= extra
+        if name not in allowed:
+            ctx.report(self, node,
+                       f"raise {name} is neither a typed ReproError nor a "
+                       f"builtin whitelisted for {ctx.module}")
+
+
+_WRITE_MODES = set("wax+")
+
+
+@register
+class AtomicWriteRule(Rule):
+    rule_id = "RPR003"
+    severity = "error"
+    description = ("file writes outside ioutil.py/checkpoint.py must route "
+                   "through ioutil.atomic_write_text")
+    rationale = ("a crash mid-write leaves a torn file; the atomic "
+                 "primitives guarantee old-or-new, never hybrid (PR 3)")
+
+    ALLOWED_MODULES = ("ioutil.py", "ingest/checkpoint.py")
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        if ctx.module_matches(self.ALLOWED_MODULES):
+            return
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in (
+                "write_text", "write_bytes"):
+            ctx.report(self, node,
+                       f"direct {func.attr}() write; route durable writes "
+                       f"through ioutil.atomic_write_text")
+            return
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode_pos = 1  # builtin open(path, mode)
+        elif isinstance(func, ast.Attribute) and func.attr == "open":
+            mode_pos = 0  # Path.open(mode) / os.fdopen(fd, mode)
+        else:
+            return
+        if self._write_mode(node, mode_pos):
+            ctx.report(self, node,
+                       "open() for writing; route durable writes through "
+                       "ioutil.atomic_write_text")
+
+    @staticmethod
+    def _write_mode(node: ast.Call, mode_pos: int) -> bool:
+        mode = None
+        if (len(node.args) > mode_pos
+                and isinstance(node.args[mode_pos], ast.Constant)):
+            mode = node.args[mode_pos].value
+        for kw in node.keywords:
+            if kw.arg == "mode" and isinstance(kw.value, ast.Constant):
+                mode = kw.value.value
+        # only strings that actually look like open() modes, so e.g.
+        # archive.open("data") is not mistaken for mode="data"
+        return (isinstance(mode, str) and 0 < len(mode) <= 3
+                and set(mode) <= set("rwxab+tU")
+                and bool(set(mode) & _WRITE_MODES))
+
+
+@register
+class WallClockRule(Rule):
+    rule_id = "RPR004"
+    severity = "error"
+    description = ("no time.time()/datetime.now() outside the clock "
+                   "service seams (TimerService, obs.core)")
+    rationale = ("direct wall-clock reads make runs irreproducible and "
+                 "untestable; clocks are injected so tests and replay can "
+                 "substitute them (PR 2)")
+
+    ALLOWED_MODULES = ("caliper/services.py", "obs/core.py")
+    _CLOCK_OWNERS = {"datetime", "date"}
+    _CLOCK_ATTRS = {"now", "utcnow", "today"}
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        if ctx.module_matches(self.ALLOWED_MODULES):
+            return
+        dotted = _dotted(node.func).split(".")
+        if len(dotted) < 2:
+            return
+        tail, owner = dotted[-1], dotted[-2]
+        if (tail, owner) == ("time", "time"):
+            ctx.report(self, node,
+                       "time.time() outside TimerService/obs.core; inject "
+                       "a clock instead")
+        elif tail in self._CLOCK_ATTRS and owner in self._CLOCK_OWNERS:
+            ctx.report(self, node,
+                       f"{owner}.{tail}() outside TimerService/obs.core; "
+                       f"inject a clock instead")
+
+
+@register
+class DeterminismRule(Rule):
+    rule_id = "RPR005"
+    severity = "error"
+    description = ("serialization and checksum inputs must iterate "
+                   "deterministically: json.dumps needs sort_keys, and "
+                   "sets/dict.keys() feeding hashes need sorted()")
+    rationale = ("content checksums and byte-identical save→load→save "
+                 "round-trips (PR 3) break the moment key order depends "
+                 "on insertion or hash order")
+
+    _HASH_FUNCS = {"sha256_of", "crc32_of", "canonical_json"}
+    _HASH_ATTRS = {"sha256", "sha1", "md5", "crc32", "blake2b"}
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        func = node.func
+        is_dumps = isinstance(func, ast.Attribute) and func.attr == "dumps"
+        if is_dumps:
+            if not any(kw.arg == "sort_keys" for kw in node.keywords):
+                ctx.report(self, node,
+                           "json.dumps without sort_keys: serialized key "
+                           "order must not depend on dict insertion order")
+        is_hash = (isinstance(func, ast.Name)
+                   and func.id in self._HASH_FUNCS) or (
+            isinstance(func, ast.Attribute)
+            and func.attr in self._HASH_ATTRS)
+        if is_dumps or is_hash:
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                offender = _unsorted_iteration(arg)
+                if offender:
+                    ctx.report(self, node,
+                               f"{offender} feeds "
+                               f"{'json.dumps' if is_dumps else 'a checksum'}"
+                               f" without sorted(): iteration order is "
+                               f"non-deterministic")
+                    break
+
+
+def _unsorted_iteration(node: ast.AST) -> str | None:
+    """Name the first unsorted set/keys() construct in *node*, skipping
+    subtrees already wrapped in ``sorted(...)``."""
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id == "sorted":
+            return None
+        if isinstance(node.func, ast.Name) and node.func.id == "set":
+            return "set(...)"
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "keys":
+            return ".keys()"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set literal"
+    for child in ast.iter_child_nodes(node):
+        found = _unsorted_iteration(child)
+        if found:
+            return found
+    return None
+
+
+@register
+class DocstringRule(Rule):
+    rule_id = "RPR006"
+    severity = "warning"
+    description = ("public functions, classes, and methods in modules "
+                   "re-exported by repro/__init__.py must have docstrings")
+    rationale = ("the exported surface (core, query, ingest, errors) is "
+                 "the paper-facing API; undocumented entry points are "
+                 "unusable from a notebook")
+
+    # the packages whose names repro/__init__.py re-exports
+    PUBLIC_MODULES = ("core/", "query/", "ingest/", "errors.py")
+
+    def visit_Module(self, node: ast.Module, ctx: FileContext) -> None:
+        if not ctx.module_matches(self.PUBLIC_MODULES):
+            return
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check(stmt, "function", ctx)
+            elif isinstance(stmt, ast.ClassDef):
+                if not stmt.name.startswith("_"):
+                    self._check(stmt, "class", ctx)
+                    for sub in stmt.body:
+                        if isinstance(sub, (ast.FunctionDef,
+                                            ast.AsyncFunctionDef)):
+                            self._check(sub, f"method {stmt.name}.", ctx)
+
+    def _check(self, node, kind: str, ctx: FileContext) -> None:
+        name = node.name
+        if name.startswith("_"):  # private (and dunder) names exempt
+            return
+        if ast.get_docstring(node) is None:
+            label = f"{kind}{name}" if kind.endswith(".") else \
+                f"{kind} {name}"
+            ctx.report(self, node,
+                       f"public {label} in exported module {ctx.module} "
+                       f"has no docstring")
+
+
+REPO_RULE_IDS = ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"]

@@ -26,6 +26,7 @@ import json
 from pathlib import Path
 from typing import Any, Iterable, Sequence
 
+from ..ioutil import atomic_write_text
 from .core import Span, Telemetry
 
 __all__ = [
@@ -115,15 +116,13 @@ def write_jsonl(spans: Sequence[Span] | Telemetry, path: str | Path,
         snap = spans.metrics.snapshot()
         if any(snap.values()):
             metrics = snap
-    path = Path(path)
-    with path.open("w") as fh:
-        for rec in spans_to_records(roots):
-            fh.write(json.dumps({"kind": "span", **rec},
-                                sort_keys=True) + "\n")
-        if metrics:
-            fh.write(json.dumps({"kind": "metrics", "metrics": metrics},
-                                sort_keys=True) + "\n")
-    return path
+    lines = [json.dumps({"kind": "span", **rec}, sort_keys=True)
+             for rec in spans_to_records(roots)]
+    if metrics:
+        lines.append(json.dumps({"kind": "metrics", "metrics": metrics},
+                                sort_keys=True))
+    # atomic replace: a crash mid-export must not leave a torn trace
+    return atomic_write_text(Path(path), "\n".join(lines) + "\n")
 
 
 def read_jsonl(path: str | Path) -> tuple[list[Span], dict[str, Any]]:
@@ -195,9 +194,8 @@ def write_chrome_trace(spans: Sequence[Span] | Telemetry,
     }
     if metrics:
         doc["otherData"] = {"metrics": metrics}
-    path = Path(path)
-    path.write_text(json.dumps(doc, sort_keys=True, indent=1))
-    return path
+    return atomic_write_text(Path(path),
+                             json.dumps(doc, sort_keys=True, indent=1))
 
 
 def read_chrome_trace(path: str | Path) -> tuple[list[Span], dict[str, Any]]:

@@ -1,17 +1,30 @@
 """``repro.query`` — the Call Path Query Language (Hatchet dialects)."""
 
+from ..errors import QueryValidationError
 from .dialect import QuerySyntaxError, parse_string_dialect
 from .engine import match_graph, match_paths
 from .matcher import QueryMatcher
-from .primitives import QueryNode, attr_predicate, parse_quantifier
+from .primitives import (
+    AttrRef,
+    QueryNode,
+    attr_predicate,
+    attr_refs,
+    parse_quantifier,
+)
+from .validate import graph_depth, validate_query
 
 __all__ = [
     "QueryMatcher",
     "parse_string_dialect",
     "QuerySyntaxError",
+    "QueryValidationError",
     "QueryNode",
+    "AttrRef",
     "attr_predicate",
+    "attr_refs",
     "parse_quantifier",
     "match_graph",
     "match_paths",
+    "validate_query",
+    "graph_depth",
 ]

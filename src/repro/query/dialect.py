@@ -28,14 +28,21 @@ from __future__ import annotations
 import re
 from typing import Any, Callable
 
+from ..errors import ReproError
 from .matcher import QueryMatcher
-from .primitives import QueryNode
+from .primitives import AttrRef, QueryNode
 
 __all__ = ["parse_string_dialect", "QuerySyntaxError"]
 
 
-class QuerySyntaxError(ValueError):
-    """Raised for malformed string-dialect queries."""
+class QuerySyntaxError(ReproError, ValueError):
+    """Raised for malformed string-dialect queries.
+
+    Doubles as a ``ValueError`` so callers predating the typed
+    hierarchy keep working.
+    """
+
+    default_stage = "parse"
 
 
 _TOKEN_RE = re.compile(r"""
@@ -89,6 +96,9 @@ class _Parser:
     def __init__(self, tokens: list[_Token]):
         self.tokens = tokens
         self.i = 0
+        # (bound identifier, AttrRef) per comparison, in source order —
+        # the statically known structure validate_query() works from.
+        self.comparisons: list[tuple[str, AttrRef]] = []
 
     # -- token helpers ---------------------------------------------------
     def peek(self) -> _Token | None:
@@ -134,10 +144,21 @@ class _Parser:
             raise QuerySyntaxError(
                 f"trailing input at position {self.peek().pos}")
 
+        refs_of: dict[int, list[AttrRef]] = {}
+        unbound: list[tuple[str, AttrRef]] = []
+        for ident, ref in self.comparisons:
+            if ident in bindings:
+                refs_of.setdefault(bindings[ident], []).append(ref)
+            else:
+                unbound.append((ident, ref))
+
         nodes = []
         for idx, (quantifier, _name) in enumerate(steps):
-            nodes.append(QueryNode(quantifier, predicates.get(idx)))
-        return QueryMatcher(nodes)
+            nodes.append(QueryNode(quantifier, predicates.get(idx),
+                                   refs=refs_of.get(idx, [])))
+        matcher = QueryMatcher(nodes)
+        matcher.unbound_refs = unbound
+        return matcher
 
     def _step(self) -> tuple[str | int, str | None]:
         self.expect("lparen")
@@ -196,6 +217,7 @@ class _Parser:
         else:
             raise QuerySyntaxError(
                 f"expected literal at position {lit_tok.pos}")
+        self.comparisons.append((ident, AttrRef(attr, op, literal)))
         check = _scalar_check(op, literal)
 
         def compare(name: str, row: Any) -> bool:
@@ -226,7 +248,11 @@ def _unquote(text: str) -> str:
 
 def _scalar_check(op: str, literal: Any) -> Callable[[Any], bool]:
     if op == "=~":
-        pattern = re.compile(str(literal))
+        try:
+            pattern = re.compile(str(literal))
+        except re.error as exc:
+            raise QuerySyntaxError(
+                f"invalid regex {str(literal)!r}: {exc}") from exc
         return lambda v: v is not None and pattern.fullmatch(str(v)) is not None
     if op == "=":
         return lambda v: v == literal or (

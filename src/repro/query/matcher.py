@@ -25,16 +25,23 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Sequence
 
-from .primitives import QueryNode, attr_predicate
+from .primitives import AttrRef, QueryNode, attr_predicate, attr_refs
 
 __all__ = ["QueryMatcher"]
 
 
 class QueryMatcher:
-    """A compiled sequence of query nodes."""
+    """A compiled sequence of query nodes.
+
+    ``unbound_refs`` holds ``(identifier, AttrRef)`` pairs for WHERE
+    comparisons that name an identifier never bound in ``MATCH`` (only
+    the string dialect can produce these); validation rejects them
+    since such comparisons silently constrain nothing.
+    """
 
     def __init__(self, nodes: Iterable[QueryNode] | None = None):
         self.query_nodes: list[QueryNode] = list(nodes or [])
+        self.unbound_refs: list[tuple[str, AttrRef]] = []
 
     # ------------------------------------------------------------------
     # fluent construction
@@ -63,11 +70,14 @@ class QueryMatcher:
         nodes = []
         for step in spec:
             if len(step) == 1:
-                nodes.append(QueryNode(step[0]))
+                nodes.append(QueryNode(step[0], refs=[]))
             elif len(step) == 2:
                 quantifier, attrs = step
-                pred = attr_predicate(attrs) if isinstance(attrs, dict) else attrs
-                nodes.append(QueryNode(quantifier, pred))
+                if isinstance(attrs, dict):
+                    nodes.append(QueryNode(quantifier, attr_predicate(attrs),
+                                           refs=attr_refs(attrs)))
+                else:
+                    nodes.append(QueryNode(quantifier, attrs))
             else:
                 raise ValueError(f"bad query step {step!r}")
         return cls(nodes)

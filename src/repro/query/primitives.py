@@ -19,9 +19,52 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-__all__ = ["QueryNode", "parse_quantifier", "attr_predicate"]
+__all__ = ["QueryNode", "parse_quantifier", "attr_predicate", "attr_refs",
+           "AttrRef"]
 
 Predicate = Callable[[Any], bool]
+
+_ORDER_OPS = {"<", "<=", ">", ">="}
+
+
+class AttrRef:
+    """A statically known attribute reference inside a predicate.
+
+    Query predicates are closures at match time, which makes them
+    opaque to static validation.  The string and object dialects
+    therefore also record, per query node, which column each
+    comparison touches, the operator, and the literal — enough for
+    :func:`repro.query.validate_query` to cross-check a query against
+    a thicket's tables before any matching runs.
+
+    ``op`` is normalised to the string-dialect spelling
+    (``= != < <= > >= =~``); ``kind`` classifies it as ``"regex"``,
+    ``"order"``, or ``"equality"``.
+    """
+
+    __slots__ = ("attr", "op", "literal")
+
+    def __init__(self, attr: Any, op: str, literal: Any):
+        self.attr = attr
+        self.op = op
+        self.literal = literal
+
+    @property
+    def kind(self) -> str:
+        """Predicate class: ``"regex"``, ``"order"``, or ``"equality"``."""
+        if self.op == "=~":
+            return "regex"
+        if self.op in _ORDER_OPS:
+            return "order"
+        return "equality"
+
+    def __repr__(self) -> str:
+        return f"AttrRef({self.attr!r} {self.op} {self.literal!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, AttrRef)
+                and (self.attr, self.op, self.literal)
+                == (other.attr, other.op, other.literal))
 
 
 def _always_true(_row: Any) -> bool:
@@ -49,17 +92,26 @@ def parse_quantifier(quantifier: str | int) -> tuple[int, int | None]:
 
 
 class QueryNode:
-    """One step of a query: quantifier bounds plus a predicate."""
+    """One step of a query: quantifier bounds plus a predicate.
 
-    __slots__ = ("min_count", "max_count", "predicate", "quantifier")
+    ``refs`` carries the :class:`AttrRef` records of the predicate when
+    it came from a dialect with statically known structure (string /
+    object dialect); it is ``None`` for opaque fluent-API callables,
+    in which case validation can only check quantifier structure.
+    """
+
+    __slots__ = ("min_count", "max_count", "predicate", "quantifier", "refs")
 
     def __init__(self, quantifier: str | int = ".",
-                 predicate: Predicate | None = None):
+                 predicate: Predicate | None = None,
+                 refs: "list[AttrRef] | None" = None):
         self.quantifier = quantifier
         self.min_count, self.max_count = parse_quantifier(quantifier)
         self.predicate = predicate or _always_true
+        self.refs = refs
 
     def matches(self, row: Any) -> bool:
+        """Whether one node's attribute row satisfies the predicate."""
         return bool(self.predicate(row))
 
     def __repr__(self) -> str:
@@ -109,3 +161,29 @@ def attr_predicate(attrs: dict[str, Any]) -> Predicate:
         return True
 
     return predicate
+
+
+def attr_refs(attrs: dict[str, Any]) -> list[AttrRef]:
+    """The :class:`AttrRef` records of an object-dialect attribute spec.
+
+    Mirrors the spec interpretation of :func:`attr_predicate`: a
+    ``"~regex"`` string becomes a ``=~`` ref, a ``"< 0.5"`` comparison
+    string becomes an order/equality ref on the parsed number, and any
+    other value an exact-equality ref.
+    """
+    refs = []
+    for key, spec in attrs.items():
+        if isinstance(spec, str) and spec.startswith("~"):
+            refs.append(AttrRef(key, "=~", spec[1:]))
+        elif (isinstance(spec, str)
+              and spec[:2].strip() in {"<", ">", "<=", ">=", "==", "!="}):
+            op, _, rhs = spec.partition(" ")
+            try:
+                rhs_v: Any = float(rhs)
+            except ValueError:
+                rhs_v = rhs
+            refs.append(AttrRef(key, {"==": "=", "!=": "!="}.get(op, op),
+                                rhs_v))
+        else:
+            refs.append(AttrRef(key, "=", spec))
+    return refs

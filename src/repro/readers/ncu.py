@@ -13,6 +13,7 @@ import csv
 import io
 from pathlib import Path
 
+from ..errors import SchemaError
 from ..frame import DataFrame, Index
 
 __all__ = ["read_ncu_csv"]
@@ -30,9 +31,9 @@ def read_ncu_csv(path: str | Path) -> DataFrame:
         m_col = header.index("metric")
         v_col = header.index("value")
     except ValueError as exc:
-        raise ValueError(
-            f"NCU report must have kernel/metric/value columns, got {header}"
-        ) from exc
+        raise SchemaError(
+            f"NCU report must have kernel/metric/value columns, got {header}",
+            source=path) from exc
 
     kernels: dict[str, dict[str, float]] = {}
     metrics: dict[str, None] = {}

@@ -16,6 +16,8 @@ from typing import Hashable, Sequence
 
 import numpy as np
 
+from ..ioutil import atomic_write_text
+
 __all__ = ["tree_table_payload", "pcp_payload", "export_json"]
 
 
@@ -122,5 +124,5 @@ def export_json(payload: dict, path: str | Path) -> Path:
     """Write a widget payload to disk."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=1))
-    return path
+    return atomic_write_text(path, json.dumps(payload, indent=1,
+                                              sort_keys=True))

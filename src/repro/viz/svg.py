@@ -100,7 +100,8 @@ class SVGCanvas:
         return header + "".join(self._elements) + "</svg>"
 
     def save(self, path: str | Path) -> Path:
+        from ..ioutil import atomic_write_text
+
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_string())
-        return path
+        return atomic_write_text(path, self.to_string())

@@ -235,20 +235,24 @@ def load_campaign(profile_dir: str | Path, on_error: str = "collect",
     return load_ensemble(paths, on_error=on_error, **kwargs)
 
 
+# The corruptors below are fault injectors: they exist to produce the
+# torn/invalid files the readers must survive, so their writes are
+# deliberately NOT atomic.
+
 def _corrupt_truncate(path: Path, rng: random.Random) -> None:
     text = path.read_text()
-    path.write_text(text[: max(1, len(text) // 2)])
+    path.write_text(text[: max(1, len(text) // 2)])  # repro: noqa[RPR003]
 
 
 def _corrupt_not_json(path: Path, rng: random.Random) -> None:
-    path.write_text("this is not json at all\n")
+    path.write_text("this is not json at all\n")  # repro: noqa[RPR003]
 
 
 def _corrupt_drop_section(path: Path, rng: random.Random) -> None:
     payload = json.loads(path.read_text())
     section = rng.choice(["nodes", "columns", "data"])
     payload.pop(section, None)
-    path.write_text(json.dumps(payload))
+    path.write_text(json.dumps(payload))  # repro: noqa[RPR003, RPR005]
 
 
 def _corrupt_bad_cell_type(path: Path, rng: random.Random) -> None:
@@ -258,7 +262,7 @@ def _corrupt_bad_cell_type(path: Path, rng: random.Random) -> None:
     if len(data[row]) > 1:
         data[row][1] = "<<not a number>>"
     payload["data"] = data
-    path.write_text(json.dumps(payload))
+    path.write_text(json.dumps(payload))  # repro: noqa[RPR003, RPR005]
 
 
 def _corrupt_dangling_parent(path: Path, rng: random.Random) -> None:
@@ -266,7 +270,7 @@ def _corrupt_dangling_parent(path: Path, rng: random.Random) -> None:
     nodes = payload.get("nodes") or [{}]
     nodes[-1]["parent"] = 10 ** 6
     payload["nodes"] = nodes
-    path.write_text(json.dumps(payload))
+    path.write_text(json.dumps(payload))  # repro: noqa[RPR003, RPR005]
 
 
 def _corrupt_duplicate_row(path: Path, rng: random.Random) -> None:
@@ -274,7 +278,7 @@ def _corrupt_duplicate_row(path: Path, rng: random.Random) -> None:
     data = payload.get("data")
     if data:
         data.append(list(data[0]))
-    path.write_text(json.dumps(payload))
+    path.write_text(json.dumps(payload))  # repro: noqa[RPR003, RPR005]
 
 
 CORRUPTION_MODES = {
@@ -295,7 +299,7 @@ def _store_truncate(path: Path, rng: random.Random) -> None:
     """Chop the store mid-document, as a crash during a non-atomic
     write would (the exact failure the atomic writer prevents)."""
     data = path.read_bytes()
-    path.write_bytes(data[: max(1, len(data) // 2)])
+    path.write_bytes(data[: max(1, len(data) // 2)])  # repro: noqa[RPR003]
 
 
 def _store_byte_flip(path: Path, rng: random.Random) -> None:
@@ -303,7 +307,7 @@ def _store_byte_flip(path: Path, rng: random.Random) -> None:
     data = bytearray(path.read_bytes())
     i = rng.randrange(len(data) // 4, len(data))  # skip the envelope head
     data[i] ^= 0x20
-    path.write_bytes(bytes(data))
+    path.write_bytes(bytes(data))  # repro: noqa[RPR003]
 
 
 def _store_checksum_mismatch(path: Path, rng: random.Random) -> None:
@@ -316,14 +320,16 @@ def _store_checksum_mismatch(path: Path, rng: random.Random) -> None:
         profiles.append("<tampered>")
     else:  # non-thicket JSON: perturb whatever is there
         payload["<tampered>"] = True
-    path.write_text(json.dumps(doc, separators=(",", ":")))
+    text = json.dumps(doc, separators=(",", ":"))  # repro: noqa[RPR005]
+    path.write_text(text)  # repro: noqa[RPR003]
 
 
 def _store_journal_tail_chop(path: Path, rng: random.Random) -> None:
     """Tear the final record of an append-only journal, as a crash
     mid-append would."""
     data = path.read_bytes()
-    path.write_bytes(data[: max(1, len(data) - rng.randrange(2, 40))])
+    path.write_bytes(  # repro: noqa[RPR003]
+        data[: max(1, len(data) - rng.randrange(2, 40))])
 
 
 STORE_CORRUPTION_MODES = {

@@ -17,6 +17,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..ioutil import atomic_write_text
 from .rajaperf import KERNELS, Kernel
 
 __all__ = ["NCU_METRICS", "ncu_metrics_for_kernel", "generate_ncu_report",
@@ -82,5 +83,4 @@ def write_ncu_csv(report: dict[str, dict[str, float]],
             writer.writerow([kernel, metric, f"{value:.6f}"])
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(buf.getvalue())
-    return path
+    return atomic_write_text(path, buf.getvalue())

@@ -1,0 +1,209 @@
+"""Static query validation (`repro.query.validate`) and its wiring
+into :meth:`Thicket.query`.
+
+A query that cannot possibly behave as written — misspelled metric,
+type-mismatched predicate, unsatisfiable quantifier sequence, unbound
+WHERE identifier — must raise :class:`QueryValidationError` *before*
+any matching work, with did-you-mean suggestions where they exist.
+``validate=False`` restores the old fail-late behaviour.  A
+property-based test checks the contract the validator exists to
+provide: any query it accepts executes without raising.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Thicket
+from repro.errors import QueryValidationError, ReproError
+from repro.query import (
+    QueryMatcher,
+    QuerySyntaxError,
+    graph_depth,
+    parse_string_dialect,
+    validate_query,
+)
+
+from .conftest import _raja_gfs
+
+
+@pytest.fixture(scope="module")
+def tk():
+    gfs = _raja_gfs(compilers=("clang++-9.0.0", "xlc-16.1.1.12"))
+    return Thicket.from_caliperreader(gfs)
+
+
+def err(tk_, query, **kwargs):
+    with pytest.raises(QueryValidationError) as info:
+        tk_.query(query, **kwargs)
+    return info.value
+
+
+class TestUnknownColumns:
+    def test_misspelled_metric_names_nearest(self, tk):
+        e = err(tk, 'MATCH (".", p) WHERE p."tim (exc)" < 1.0')
+        assert "tim (exc)" in str(e)
+        assert "time (exc)" in str(e)  # the did-you-mean suggestion
+        assert e.suggestions["tim (exc)"][0] == "time (exc)"
+
+    def test_typed_error_hierarchy(self, tk):
+        e = err(tk, 'MATCH (".", p) WHERE p."tim (exc)" < 1.0')
+        assert isinstance(e, ReproError)
+        assert isinstance(e, ValueError)
+        assert e.stage == "validate"
+
+    def test_unknown_without_neighbour_has_no_suggestion(self, tk):
+        e = err(tk, 'MATCH (".", p) WHERE p."zzzzqqqq" = 1')
+        assert "unknown column" in str(e)
+        assert "zzzzqqqq" not in e.suggestions
+
+    def test_metadata_column_gets_dedicated_hint(self, tk):
+        e = err(tk, 'MATCH (".", p) WHERE p."user" = "John"')
+        assert "metadata column" in str(e)
+        assert "filter_metadata" in str(e)
+
+    def test_all_problems_collected(self, tk):
+        e = err(tk, 'MATCH (".", p)->(".", q) WHERE p."tim (exc)" < 1.0 '
+                    'AND q."zzzzqqqq" = 2')
+        assert len(e.problems) == 2
+
+    def test_object_dialect_unknown_attr(self, tk):
+        e = err(tk, [(".", {"nam": "Base_Seq"})])
+        assert "nam" in str(e) and "name" in e.suggestions["nam"]
+
+
+class TestTypeMismatches:
+    def test_regex_on_numeric_column(self, tk):
+        e = err(tk, 'MATCH (".", p) WHERE p."time (exc)" =~ "fast.*"')
+        assert "regex" in str(e) and "numeric" in str(e)
+
+    def test_ordering_on_string_column(self, tk):
+        e = err(tk, 'MATCH (".", p) WHERE p."name" < 5')
+        assert "ordering comparison" in str(e)
+
+    def test_string_literal_against_numeric_column(self, tk):
+        e = err(tk, 'MATCH (".", p) WHERE p."time (exc)" = "slow"')
+        assert "string literal" in str(e)
+
+    def test_numeric_literal_against_string_column(self, tk):
+        e = err(tk, [(".", {"name": 42})])
+        assert "numeric literal" in str(e)
+
+    def test_bad_regex_in_object_dialect(self, tk):
+        # the string dialect rejects this at parse time; the object
+        # dialect defers to validation
+        e = err(tk, [(".", {"name": "~(unclosed"})])
+        assert "invalid regex" in str(e)
+
+    def test_matching_types_accepted(self, tk):
+        out = tk.query('MATCH ("*", p) WHERE p."time (exc)" >= 0.0')
+        assert len(out.graph) > 0
+        out = tk.query([("*", {"name": "~Base.*"}), ("*",)])
+        assert len(out.graph) > 0
+
+
+class TestStructure:
+    def test_unbound_identifier_rejected(self, tk):
+        e = err(tk, 'MATCH (".", p) WHERE q."name" = "main"')
+        assert "never bound" in str(e)
+
+    def test_unsatisfiable_quantifier_sum(self, tk):
+        depth = graph_depth(tk.graph)
+        e = err(tk, [(depth + 1,), (".", {"name": "whatever"})])
+        assert "structurally unsatisfiable" in str(e)
+
+    def test_satisfiable_quantifier_sum_accepted(self, tk):
+        depth = graph_depth(tk.graph)
+        matcher = validate_query([(depth,)], tk)
+        assert isinstance(matcher, QueryMatcher)
+
+    def test_zero_width_quantifier_with_predicate(self, tk):
+        e = err(tk, [(0, {"name": "main"})])
+        assert "zero-width" in str(e)
+
+    def test_empty_query_rejected(self, tk):
+        with pytest.raises(QueryValidationError, match="empty query"):
+            validate_query(QueryMatcher(), tk)
+
+    def test_fluent_matcher_only_quantifiers_checked(self, tk):
+        # opaque callables carry no refs: a misspelled column inside the
+        # lambda is invisible, but quantifier structure is still checked
+        fluent = QueryMatcher().match("*", lambda row: True)
+        assert validate_query(fluent, tk) is fluent
+        depth = graph_depth(tk.graph)
+        bad = QueryMatcher().match(depth + 1, lambda row: True)
+        with pytest.raises(QueryValidationError):
+            validate_query(bad, tk)
+
+    def test_unvalidatable_type_rejected(self, tk):
+        with pytest.raises(TypeError, match="cannot validate"):
+            validate_query(42, tk)
+
+
+class TestThicketWiring:
+    def test_validation_is_default(self, tk):
+        with pytest.raises(QueryValidationError):
+            tk.query('MATCH (".", p) WHERE p."tim (exc)" < 1.0')
+
+    def test_escape_hatch(self, tk):
+        out = tk.query('MATCH (".", p) WHERE p."tim (exc)" < 1.0',
+                       validate=False)
+        assert len(out.graph) == 0  # old fail-late behaviour: no matches
+
+    def test_validated_query_still_matches(self, tk):
+        q = 'MATCH ("*", p)->(".", q) WHERE q."name" =~ ".*DOT.*"'
+        assert tk.query(q).tree() == tk.query(q, validate=False).tree()
+
+    def test_syntax_errors_still_syntax_errors(self, tk):
+        # validation must not reclassify parse failures
+        with pytest.raises(QuerySyntaxError):
+            tk.query('MATCH (".", p WHERE')
+
+
+# ----------------------------------------------------------------------
+# the validator's contract, property-based: accepted queries execute
+# without raising
+# ----------------------------------------------------------------------
+
+NUMERIC_COLS = ['"time (exc)"', '"Reps"', '"Retiring"']
+STRING_COLS = ['"name"']
+
+
+@st.composite
+def query_strings(draw):
+    """Queries mixing valid and invalid columns, operators, and types."""
+    column = draw(st.sampled_from(
+        NUMERIC_COLS + STRING_COLS
+        + ['"tim (exc)"', '"Rep"', '"namex"', '"user"']))
+    op = draw(st.sampled_from(["<", "<=", ">", ">=", "=", "=~"]))
+    if draw(st.booleans()):
+        literal = repr(round(draw(st.floats(0, 100, allow_nan=False)), 3))
+    else:
+        literal = '"' + draw(st.sampled_from(
+            ["Base_Seq", ".*DOT.*", "main"])) + '"'
+    quantifier = draw(st.sampled_from(['"."', '"*"', '"+"', "2", "7"]))
+    return (f'MATCH ({quantifier}, p) WHERE p.{column} {op} {literal}')
+
+
+@given(query=query_strings())
+@settings(max_examples=60, deadline=None)
+def test_validated_queries_execute_cleanly(query):
+    tk_ = test_validated_queries_execute_cleanly.tk
+    try:
+        matcher = validate_query(query, tk_)
+    except (QueryValidationError, QuerySyntaxError):
+        return  # rejected up front: exactly the point
+    try:
+        tk_.query(matcher)
+    except KeyError as exc:  # pragma: no cover - the bug being guarded
+        pytest.fail(f"validated query {query!r} raised KeyError {exc!r}")
+
+
+@pytest.fixture(autouse=True)
+def _attach_tk(request, tk):
+    # hypothesis-driven tests cannot take function-scoped fixtures;
+    # hand them the module-scoped thicket through the function object
+    test_validated_queries_execute_cleanly.tk = tk
+    yield

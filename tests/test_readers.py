@@ -72,9 +72,11 @@ class TestNCUReader:
             report["Apps_VOL3D"]["sm__throughput"], abs=1e-4)
 
     def test_bad_header_rejected(self, tmp_path):
+        from repro.errors import SchemaError
+
         bad = tmp_path / "bad.csv"
         bad.write_text("a,b\n1,2\n")
-        with pytest.raises(ValueError):
+        with pytest.raises(SchemaError, match="kernel/metric/value"):
             read_ncu_csv(bad)
 
     def test_empty_file(self, tmp_path):
