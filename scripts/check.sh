@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Repo health check: tier-1 tests, warning-clean bytecode compilation,
-# and a smoke run of the fault-tolerant ingestion benchmark.
+# static analysis, smoke runs of the fault-tolerant ingestion
+# benchmark and observability stack, durable-store recovery, and a
+# supervised-parallel chaos smoke (hang + worker crash).
 #
 # Usage: scripts/check.sh  (from anywhere; cd's to the repo root)
 
@@ -119,6 +121,61 @@ assert report.n_resumed == 3, report.n_resumed
 assert tk.to_json() == baseline, "resumed thicket differs from from-scratch"
 print(f"interrupted ingest resumed {report.n_resumed} profile(s), "
       f"re-read {len(campaign) - report.n_resumed}, thicket identical")
+PY
+
+echo "== chaos smoke (supervised parallel ingest) =="
+# Inject one hang and one worker crash into a small campaign, run a
+# supervised parallel ingest, and require: exit code 3 (partial
+# ingest), both failures attributed with the right error types, and
+# every healthy profile loaded.
+CHAOS_DIR=$(mktemp -d)
+trap 'rm -rf "$OBS_CAMPAIGN" "$STORE_DIR" "$CHAOS_DIR"' EXIT
+python - "$CHAOS_DIR" <<'PY'
+import sys
+from pathlib import Path
+
+from repro.caliper import write_cali_json
+from repro.workloads import (
+    QUARTZ,
+    generate_rajaperf_profile,
+    inject_hang,
+    inject_worker_crash,
+)
+
+out = Path(sys.argv[1])
+paths = []
+for i in range(8):
+    prof = generate_rajaperf_profile(
+        QUARTZ, 1048576 * (1 + i % 2),
+        kernels=["Stream_DOT", "Apps_VOL3D"], seed=1200 + i,
+        metadata={"rep": i})
+    paths.append(write_cali_json(prof, out / f"p{i}.json"))
+inject_hang(paths[2], seconds=30.0)
+inject_worker_crash(paths[5])
+PY
+CHAOS_REPORT="$STORE_DIR/chaos-report.json"  # NOT in the campaign dir
+rc=0
+python -m repro ingest "$CHAOS_DIR" --jobs 2 --task-timeout 2 \
+    --on-error collect --json > "$CHAOS_REPORT" || rc=$?
+if [ "$rc" -ne 3 ]; then
+    echo "FAIL: chaos ingest exited $rc, expected 3 (partial)" >&2
+    exit 1
+fi
+python - "$CHAOS_REPORT" <<'PY'
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+by_type = {}
+for q in doc["quarantined"]:
+    by_type.setdefault(q["error_type"], []).append(q["source"])
+assert doc["execution"]["jobs"] == 2, doc["execution"]
+assert doc["execution"]["timeouts"] == 1, doc["execution"]
+assert doc["execution"]["worker_crashes"] == 1, doc["execution"]
+assert sorted(by_type) == ["TaskTimeoutError", "WorkerCrashError"], by_type
+assert len(doc["loaded"]) == 6, len(doc["loaded"])
+print("chaos ingest: 6/8 loaded, hang and crash both attributed, "
+      "exit code 3")
 PY
 
 echo "== all checks passed =="

@@ -37,14 +37,21 @@ from .errors import (  # noqa: E402
     ReproError,
     SchemaError,
 )
+from .errors import (  # noqa: E402
+    ExecutionError,
+    TaskTimeoutError,
+    WorkerCrashError,
+)
 from .ingest import IngestReport, IngestResult, load_ensemble  # noqa: E402
 from .query import QueryMatcher  # noqa: E402
+from .resilience import ResiliencePolicy  # noqa: E402
 
 __all__ = [
     "Thicket", "concat_thickets", "profile_hash", "QueryMatcher",
     "ReproError", "ReaderError", "SchemaError", "CompositionError",
     "ProfileConflictError", "PersistenceError", "CorruptStoreError",
-    "load_ensemble", "IngestReport", "IngestResult",
+    "ExecutionError", "TaskTimeoutError", "WorkerCrashError",
+    "load_ensemble", "IngestReport", "IngestResult", "ResiliencePolicy",
     "save_thicket", "load_thicket", "ValidationReport",
     "__version__",
 ]

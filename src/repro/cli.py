@@ -16,6 +16,8 @@ the "quick look before opening a notebook" path::
                                --metric "time per cycle (inc)"
     python -m repro ingest     profiles/ --on-error collect
     python -m repro ingest     profiles/ --checkpoint ckpt/ --save tk.json
+    python -m repro ingest     profiles/ --jobs 4 --task-timeout 5 \
+                               --on-error collect
     python -m repro validate   tk.json
     python -m repro --trace trace.json ingest profiles/
     python -m repro obs        trace.json --tree
@@ -24,6 +26,10 @@ the "quick look before opening a notebook" path::
 Every subcommand takes ``--on-error {strict,skip,collect}`` (default
 ``strict``): ``skip``/``collect`` quarantine corrupt profiles instead
 of aborting, printing a human-readable quarantine summary on stderr.
+They also take ``--jobs N`` (supervised worker pool for profile
+read+parse), ``--task-timeout SEC`` (kill + quarantine any profile
+task exceeding SEC), and ``--deadline SEC`` (overall wall budget);
+the defaults preserve the serial in-process path.
 
 Self-instrumentation (``repro.obs``) is surfaced through three global
 flags, accepted both before and after the subcommand name:
@@ -75,6 +81,21 @@ def _profile_paths(profile_dir: str) -> list[Path]:
     return paths
 
 
+def _policy_from_args(args):
+    """Build the :class:`~repro.resilience.ResiliencePolicy` requested
+    by ``--jobs/--task-timeout/--deadline`` (None when all defaulted,
+    preserving the historical serial code path exactly)."""
+    jobs = getattr(args, "jobs", 1)
+    task_timeout = getattr(args, "task_timeout", None)
+    deadline = getattr(args, "deadline", None)
+    if jobs == 1 and task_timeout is None and deadline is None:
+        return None
+    from .resilience import ResiliencePolicy
+
+    return ResiliencePolicy(jobs=jobs, task_timeout=task_timeout,
+                            deadline=deadline)
+
+
 def _load_thicket(args):
     """Load the ensemble under the requested error policy.
 
@@ -85,7 +106,8 @@ def _load_thicket(args):
     from .ingest import load_ensemble
 
     tk, report = load_ensemble(_profile_paths(args.profiles),
-                               on_error=args.on_error)
+                               on_error=args.on_error,
+                               policy=_policy_from_args(args))
     args._ingest_report = report
     if not report.ok:
         print(report.summary(), file=sys.stderr)
@@ -198,7 +220,8 @@ def _cmd_ingest(args) -> int:
 
     tk, report = load_ensemble(_profile_paths(args.profiles),
                                on_error=args.on_error,
-                               checkpoint=args.checkpoint)
+                               checkpoint=args.checkpoint,
+                               policy=_policy_from_args(args))
     args._ingest_report = report
     if args.json:
         print(json_mod.dumps(report.to_dict(), indent=2, sort_keys=True))
@@ -336,6 +359,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-profile error policy: strict aborts on the "
                             "first bad profile, skip/collect quarantine bad "
                             "profiles and compose the rest")
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for profile read+parse "
+                            "(default 1: serial in-process)")
+        p.add_argument("--task-timeout", type=float, default=None,
+                       metavar="SEC", dest="task_timeout",
+                       help="kill any single profile task exceeding SEC "
+                            "wall seconds; the profile is quarantined as "
+                            "TaskTimeoutError")
+        p.add_argument("--deadline", type=float, default=None,
+                       metavar="SEC",
+                       help="overall wall budget; profiles still pending "
+                            "when it expires are quarantined as "
+                            "DeadlineExceededError")
         _add_obs_flags(p, suppress=True,
                        include_metrics=(name != "stats"))
         p.set_defaults(fn=fn)

@@ -21,8 +21,13 @@ Hierarchy::
     │   └── ProfileConflictError   colliding / unusable profile ids
     ├── PersistenceError       durable-store write/read failures (also ValueError)
     │   └── CorruptStoreError  store exists but fails checksum / structure
-    └── QueryValidationError   a query is statically invalid for a thicket
-                               (also ValueError)
+    ├── QueryValidationError   a query is statically invalid for a thicket
+    │                          (also ValueError)
+    └── ExecutionError         supervised parallel execution failures
+        ├── TaskTimeoutError       a task exceeded its wall-clock deadline
+        ├── WorkerCrashError       the worker process died / stopped beating
+        ├── CircuitOpenError       fast-fail while a circuit breaker is open
+        └── DeadlineExceededError  the whole run blew its wall budget
 
 ``CompositionError`` doubles as a ``ValueError`` so that pre-existing
 callers catching ``ValueError`` around :meth:`Thicket.from_caliperreader`
@@ -43,6 +48,11 @@ __all__ = [
     "PersistenceError",
     "CorruptStoreError",
     "QueryValidationError",
+    "ExecutionError",
+    "TaskTimeoutError",
+    "WorkerCrashError",
+    "CircuitOpenError",
+    "DeadlineExceededError",
 ]
 
 
@@ -131,6 +141,64 @@ class QueryValidationError(ReproError, ValueError):
         self.problems = list(problems or [message])
         self.suggestions = dict(suggestions or {})
         super().__init__(message, source=source, stage="validate")
+
+
+class ExecutionError(ReproError):
+    """A task failed inside the supervised execution engine.
+
+    Base class for the failures :class:`repro.resilience.SupervisedExecutor`
+    attributes to individual tasks: wall-clock timeouts, worker-process
+    crashes, circuit-breaker fast-fails, and run-level deadline
+    exhaustion.  ``source`` carries the task key (for ingestion, the
+    profile path) so a quarantined task is addressable.
+    """
+
+    default_stage = "execute"
+
+
+class TaskTimeoutError(ExecutionError):
+    """A task exceeded its per-task wall-clock deadline.
+
+    The supervisor — not the worker — enforces the timeout: the worker
+    process is killed and the task is quarantined (or retried, when the
+    policy allows), so a single hung read can never stall the run.
+    """
+
+    default_stage = "execute"
+
+
+class WorkerCrashError(ExecutionError):
+    """The worker process executing a task died or stopped heartbeating.
+
+    Covers both a hard crash (the child exited without reporting a
+    result) and a hang detected by heartbeat staleness; either way the
+    task is attributed and the worker replaced.
+    """
+
+    default_stage = "execute"
+
+
+class CircuitOpenError(ExecutionError):
+    """A task was failed fast because its circuit breaker is open.
+
+    After ``breaker_threshold`` consecutive failures for the same
+    failure domain (for ingestion, the profile's parent directory) the
+    breaker opens and further tasks are quarantined immediately instead
+    of burning retries against a dead source.
+    """
+
+    default_stage = "execute"
+
+
+class DeadlineExceededError(ExecutionError):
+    """The supervised run exhausted its overall wall-clock budget.
+
+    Remaining tasks (queued or in flight) are quarantined with this
+    error so the run terminates promptly with full attribution instead
+    of overrunning its deadline.
+    """
+
+    default_stage = "execute"
 
 
 class CorruptStoreError(PersistenceError):

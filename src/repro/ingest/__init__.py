@@ -2,12 +2,14 @@
 
 The campaign-scale loading path: schema validation, per-profile error
 policies (``strict``/``skip``/``collect``), transient-I/O retry,
-quarantine reporting, and crash-tolerant resumable checkpoints
-(``load_ensemble(..., checkpoint=DIR)``).  See :func:`load_ensemble`.
+quarantine reporting, crash-tolerant resumable checkpoints
+(``load_ensemble(..., checkpoint=DIR)``), and supervised parallel
+execution (``load_ensemble(..., policy=ResiliencePolicy(jobs=4))``;
+see :mod:`repro.resilience`).  See :func:`load_ensemble`.
 """
 
 from .checkpoint import CheckpointJournal
-from .pipeline import ERROR_POLICIES, load_ensemble
+from .pipeline import ERROR_POLICIES, FAULT_KEY, load_ensemble
 from .report import (
     IngestReport,
     IngestResult,
@@ -19,6 +21,7 @@ from .schema import validate_cali_payload
 __all__ = [
     "load_ensemble",
     "ERROR_POLICIES",
+    "FAULT_KEY",
     "IngestReport",
     "IngestResult",
     "QuarantinedProfile",

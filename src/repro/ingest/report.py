@@ -66,6 +66,10 @@ class IngestReport:
     checkpoint_path: str | None = None     # journal dir, when checkpointing
     resumed: list = field(default_factory=list)  # sources rebuilt from journal
     resumed_quarantined: int = 0  # quarantines skipped thanks to the journal
+    jobs: int = 1                 # worker-pool width (1 = serial)
+    timeouts: int = 0             # tasks killed for deadline overrun
+    worker_crashes: int = 0       # tasks lost to dead/hung workers
+    breaker_trips: int = 0        # circuit-breaker closed/half-open → open
 
     @property
     def n_loaded(self) -> int:
@@ -106,6 +110,13 @@ class IngestReport:
                 f"  checkpoint: {self.checkpoint_path} "
                 f"({self.n_resumed} resumed, "
                 f"{self.resumed_quarantined} quarantine(s) skipped)")
+        if self.jobs > 1 or self.timeouts or self.worker_crashes \
+                or self.breaker_trips:
+            lines.append(
+                f"  execution: jobs={self.jobs}, "
+                f"timeouts={self.timeouts}, "
+                f"worker crashes={self.worker_crashes}, "
+                f"breaker trips={self.breaker_trips}")
         for q in self.quarantined:
             lines.append(f"  - {q.describe()}")
         for r in self.repaired:
@@ -140,6 +151,12 @@ class IngestReport:
                 "path": self.checkpoint_path,
                 "resumed": self.n_resumed,
                 "resumed_quarantined": self.resumed_quarantined,
+            },
+            "execution": {
+                "jobs": self.jobs,
+                "timeouts": self.timeouts,
+                "worker_crashes": self.worker_crashes,
+                "breaker_trips": self.breaker_trips,
             },
         }
 

@@ -3,11 +3,12 @@
 Two rule families over one engine (:mod:`repro.lint.engine`):
 
 * **Repo invariants** (:mod:`repro.lint.rules_repo`, ``RPR001``–
-  ``RPR006``): the hardening discipline introduced by earlier PRs —
+  ``RPR007``): the hardening discipline introduced by earlier PRs —
   typed errors, atomic writes, injectable clocks, deterministic
-  serialization, documented public API — enforced mechanically
-  instead of by convention.  ``scripts/check.sh`` and CI run these
-  over ``src/repro`` as a hard gate.
+  serialization, documented public API, retries/pools routed through
+  ``repro.resilience`` — enforced mechanically instead of by
+  convention.  ``scripts/check.sh`` and CI run these over
+  ``src/repro`` as a hard gate.
 * **Query literals** (:mod:`repro.lint.rules_query`, ``RPQ101``–
   ``RPQ102``): string/object-dialect call-path queries embedded as
   literals in any linted source are compiled at lint time, so a

@@ -15,6 +15,7 @@ RPR003  durable writes must route through ``ioutil.atomic_write_text``
 RPR004  no wall-clock reads outside the clock-service seams
 RPR005  deterministic serialization (sorted keys, no unsorted sets)
 RPR006  public API functions must carry docstrings
+RPR007  retries and pools route through ``repro.resilience``
 ======  ==============================================================
 """
 
@@ -111,6 +112,8 @@ class TypedRaiseRule(Rule):
         "caliper/": {"RuntimeError"},    # begin/end protocol misuse
         "learn/": {"RuntimeError"},      # sklearn "not fitted" idiom
         "workloads/": {"FileNotFoundError"},  # fault injectors address files
+        # re-raising deferred SIGINT/SIGTERM is these types by definition
+        "resilience/signals.py": {"KeyboardInterrupt", "SystemExit"},
     }
     # modules where even GLOBAL_BUILTINS are banned: every failure on
     # these paths must carry source + stage attribution
@@ -324,4 +327,85 @@ class DocstringRule(Rule):
                        f"has no docstring")
 
 
-REPO_RULE_IDS = ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"]
+@register
+class ResilienceRoutingRule(Rule):
+    rule_id = "RPR007"
+    severity = "error"
+    description = ("retry loops sleeping via time.sleep and bare "
+                   "multiprocessing/concurrent.futures pools outside "
+                   "repro/resilience/")
+    rationale = ("an open-coded sleep-retry loop has no deadline, no "
+                 "jitter, and no circuit breaker, and a bare pool cannot "
+                 "kill a hung worker; bulk work routes through "
+                 "resilience.SupervisedExecutor / ResiliencePolicy (PR 5)")
+
+    ALLOWED_MODULES = ("resilience/",)
+    _POOL_CLASSES = {"ProcessPoolExecutor", "ThreadPoolExecutor", "Pool",
+                     "Process"}
+    _POOL_MODULES = {"multiprocessing", "concurrent.futures",
+                     "multiprocessing.pool", "multiprocessing.dummy"}
+
+    def begin_file(self, ctx: FileContext) -> None:
+        self.sleep_aliases: set[str] = set()
+        self.pool_names: set[str] = set()
+        self.module_aliases: set[str] = set()
+        self.reported: set[int] = set()
+        if ctx.module_matches(self.ALLOWED_MODULES):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    self.sleep_aliases |= {a.asname or a.name
+                                           for a in node.names
+                                           if a.name == "sleep"}
+                elif node.module in self._POOL_MODULES:
+                    self.pool_names |= {a.asname or a.name
+                                        for a in node.names
+                                        if a.name in self._POOL_CLASSES}
+            elif isinstance(node, ast.Import):
+                for a in node.names:
+                    if a.name in self._POOL_MODULES:
+                        self.module_aliases.add(
+                            (a.asname or a.name).split(".")[0])
+
+    def _is_sleep(self, node: ast.Call) -> bool:
+        dotted = _dotted(node.func)
+        return dotted == "time.sleep" or (
+            isinstance(node.func, ast.Name)
+            and node.func.id in self.sleep_aliases)
+
+    def _loop_check(self, node, ctx: FileContext) -> None:
+        if ctx.module_matches(self.ALLOWED_MODULES):
+            return
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call) and self._is_sleep(sub) \
+                    and id(sub) not in self.reported:
+                self.reported.add(id(sub))
+                ctx.report(self, sub,
+                           "time.sleep inside a loop: an open-coded "
+                           "retry/poll loop; use resilience."
+                           "ResiliencePolicy backoff or an injected sleep "
+                           "seam")
+
+    visit_While = _loop_check
+    visit_For = _loop_check
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        if ctx.module_matches(self.ALLOWED_MODULES):
+            return
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in self.pool_names:
+            name = func.id
+        else:
+            dotted = _dotted(func).split(".")
+            if len(dotted) < 2 or dotted[-1] not in self._POOL_CLASSES \
+                    or dotted[0] not in self.module_aliases:
+                return
+            name = dotted[-1]
+        ctx.report(self, node,
+                   f"bare {name} pool outside repro/resilience/; route "
+                   f"bulk work through resilience.SupervisedExecutor")
+
+
+REPO_RULE_IDS = ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
+                 "RPR006", "RPR007"]

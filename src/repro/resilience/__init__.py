@@ -1,0 +1,24 @@
+"""``repro.resilience`` — supervised parallel execution.
+
+The reusable substrate under every campaign-scale bulk stage: a
+process-pool :class:`SupervisedExecutor` with per-task deadlines,
+worker heartbeats, bounded jittered retries, and deterministic result
+ordering; a per-failure-domain :class:`CircuitBreaker`; the
+:class:`ResiliencePolicy` knob object threaded through the stack; and
+the :class:`SignalGuard` that keeps checkpoint journals and worker
+pools safe across Ctrl-C.  Raw ``time.sleep`` retry loops and bare
+``multiprocessing``/``concurrent.futures`` pools elsewhere in the tree
+are lint findings (RPR007): bulk work routes through here.
+"""
+
+from .breaker import CLOSED, HALF_OPEN, OPEN, BreakerState, CircuitBreaker
+from .executor import SupervisedExecutor, TaskOutcome, in_worker
+from .policy import SERIAL_POLICY, ResiliencePolicy
+from .signals import SignalGuard
+
+__all__ = [
+    "ResiliencePolicy", "SERIAL_POLICY",
+    "SupervisedExecutor", "TaskOutcome", "in_worker",
+    "CircuitBreaker", "BreakerState", "CLOSED", "OPEN", "HALF_OPEN",
+    "SignalGuard",
+]

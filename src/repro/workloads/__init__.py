@@ -2,6 +2,7 @@
 
 from .campaign import (
     CORRUPTION_MODES,
+    EXECUTION_FAULT_MODES,
     MARBL_CAMPAIGN,
     RAJA_CAMPAIGN,
     STORE_CORRUPTION_MODES,
@@ -9,6 +10,9 @@ from .campaign import (
     RajaConfig,
     corrupt_campaign,
     corrupt_store,
+    inject_hang,
+    inject_slow_io,
+    inject_worker_crash,
     iter_marbl_profiles,
     iter_raja_profiles,
     load_campaign,
@@ -61,5 +65,7 @@ __all__ = [
     "MarblConfig", "MARBL_CAMPAIGN", "marbl_campaign_table",
     "iter_marbl_profiles", "write_marbl_campaign",
     "load_campaign", "corrupt_campaign", "CORRUPTION_MODES",
+    "EXECUTION_FAULT_MODES", "inject_hang", "inject_slow_io",
+    "inject_worker_crash",
     "corrupt_store", "STORE_CORRUPTION_MODES",
 ]

@@ -41,6 +41,10 @@ __all__ = [
     "load_campaign",
     "corrupt_campaign",
     "CORRUPTION_MODES",
+    "EXECUTION_FAULT_MODES",
+    "inject_hang",
+    "inject_slow_io",
+    "inject_worker_crash",
     "corrupt_store",
     "STORE_CORRUPTION_MODES",
 ]
@@ -292,6 +296,80 @@ CORRUPTION_MODES = {
 
 
 # ----------------------------------------------------------------------
+# execution fault injection (hangs, slow I/O, worker crashes)
+# ----------------------------------------------------------------------
+
+def _wrap_fault(path: Path, fault: dict) -> Path:
+    """Wrap *path*'s payload in a ``FAULT_KEY`` sentinel envelope.
+
+    The ingest pipeline trips the fault when it parses the file — in
+    the worker process under a supervised policy, inline otherwise —
+    making timing faults (hangs, stalls, process deaths) exactly as
+    reproducible as the parse corruptions above.
+    """
+    from ..ingest.pipeline import FAULT_KEY
+
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    if FAULT_KEY in payload:         # re-injection: replace, don't nest
+        payload = payload["payload"]
+    wrapped = {FAULT_KEY: fault, "payload": payload}
+    path.write_text(json.dumps(wrapped))  # repro: noqa[RPR003, RPR005]
+    return path
+
+
+def inject_hang(path: str | Path, seconds: float = 30.0) -> Path:
+    """Make ingesting *path* hang for *seconds* before failing.
+
+    Under a supervised policy the task blows its ``task_timeout`` and
+    the worker is killed (quarantine: ``TaskTimeoutError``); a serial
+    run sleeps through it and quarantines a ``ReaderError``.
+    """
+    return _wrap_fault(path, {"mode": "hang", "seconds": seconds})
+
+
+def inject_slow_io(path: str | Path, seconds: float = 0.05) -> Path:
+    """Make ingesting *path* stall *seconds* before succeeding.
+
+    The profile still loads — this models a cold parallel filesystem,
+    for exercising deadlines and the parallel speedup itself.
+    """
+    return _wrap_fault(path, {"mode": "slow_io", "seconds": seconds})
+
+
+def inject_worker_crash(path: str | Path) -> Path:
+    """Make ingesting *path* kill its worker process outright.
+
+    Inside a pool worker the process dies with ``os._exit`` (the
+    supervisor respawns it; quarantine: ``WorkerCrashError``); a
+    serial run raises the same error without taking the process down.
+    """
+    return _wrap_fault(path, {"mode": "worker_crash"})
+
+
+def _inject_hang_mode(path: Path, rng: random.Random) -> None:
+    inject_hang(path)
+
+
+def _inject_slow_io_mode(path: Path, rng: random.Random) -> None:
+    inject_slow_io(path)
+
+
+def _inject_worker_crash_mode(path: Path, rng: random.Random) -> None:
+    inject_worker_crash(path)
+
+
+# Usable via ``corrupt_campaign(paths, modes=[...])`` but deliberately
+# NOT part of the default cycle: a hang in a plain serial test would
+# stall it for the full fault duration.
+EXECUTION_FAULT_MODES = {
+    "hang": _inject_hang_mode,
+    "slow_io": _inject_slow_io_mode,
+    "worker_crash": _inject_worker_crash_mode,
+}
+
+
+# ----------------------------------------------------------------------
 # durable-store fault injection (thicket stores + checkpoint journals)
 # ----------------------------------------------------------------------
 
@@ -372,11 +450,18 @@ def corrupt_campaign(paths: Sequence[str | Path], fraction: float = 0.05,
     place.  Returns the corrupted paths — the ground truth a
     fault-injection test or benchmark checks the
     :class:`~repro.ingest.IngestReport` against.
+
+    *modes* may also name execution faults from
+    :data:`EXECUTION_FAULT_MODES` (``hang``/``slow_io``/
+    ``worker_crash``); those are opt-in only, never in the default
+    cycle, because a hang stalls a plain serial ingest for the full
+    fault duration.
     """
     if not 0.0 <= fraction <= 1.0:
         raise ValueError(f"fraction {fraction} outside [0, 1]")
+    all_modes = {**CORRUPTION_MODES, **EXECUTION_FAULT_MODES}
     mode_names = list(modes or CORRUPTION_MODES)
-    unknown = [m for m in mode_names if m not in CORRUPTION_MODES]
+    unknown = [m for m in mode_names if m not in all_modes]
     if unknown:
         raise ValueError(f"unknown corruption mode(s): {unknown}")
     paths = [Path(p) for p in paths]
@@ -386,7 +471,7 @@ def corrupt_campaign(paths: Sequence[str | Path], fraction: float = 0.05,
     corrupted = []
     for k, i in enumerate(victims):
         mode = mode_names[k % len(mode_names)]
-        CORRUPTION_MODES[mode](paths[i], rng)
+        all_modes[mode](paths[i], rng)
         corrupted.append(paths[i])
     return corrupted
 

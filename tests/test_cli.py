@@ -368,7 +368,7 @@ class TestIngestJsonSchema:
         report = json.loads(capsys.readouterr().out)
         assert set(report) == {"policy", "requested", "loaded",
                                "quarantined", "repaired", "stage_seconds",
-                               "checkpoint"}
+                               "checkpoint", "execution"}
         assert set(report["stage_seconds"]) == {
             "read", "validate", "build", "compose"}
         assert all(isinstance(v, float) and v >= 0
@@ -376,4 +376,10 @@ class TestIngestJsonSchema:
         assert set(report["checkpoint"]) == {"path", "resumed",
                                              "resumed_quarantined"}
         assert report["checkpoint"]["path"] is None  # no --checkpoint given
+        assert set(report["execution"]) == {"jobs", "timeouts",
+                                            "worker_crashes",
+                                            "breaker_trips"}
+        assert report["execution"] == {"jobs": 1, "timeouts": 0,
+                                       "worker_crashes": 0,
+                                       "breaker_trips": 0}
         assert report["requested"] == 12

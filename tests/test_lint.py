@@ -1,6 +1,6 @@
 """The ``repro.lint`` static-analysis subsystem.
 
-Each hardening rule (RPR001–RPR006) and query rule (RPQ101/RPQ102) is
+Each hardening rule (RPR001–RPR007) and query rule (RPQ101/RPQ102) is
 exercised against a minimal known-bad snippet that must produce exactly
 one finding on the expected line, plus a known-good variant that must
 stay clean.  The engine itself is covered for suppression (used and
@@ -335,6 +335,89 @@ class TestDocstrings:
             def compute(x):
                 return x + 1
             """, rel="repro/viz/extra.py")
+        assert result.ok, format_text(result)
+
+
+class TestResilienceRouting:
+    def test_sleep_in_retry_loop_flagged(self, tmp_path):
+        f = sole_finding(lint_source(tmp_path, """\
+            import time
+
+            def fetch(path):
+                for attempt in range(3):
+                    try:
+                        return open(path).read()
+                    except OSError:
+                        time.sleep(0.1 * attempt)
+            """), "RPR007")
+        assert "retry/poll loop" in f.message
+
+    def test_aliased_sleep_in_while_loop_flagged(self, tmp_path):
+        f = sole_finding(lint_source(tmp_path, """\
+            from time import sleep as snooze
+
+            def poll(q):
+                while q.empty():
+                    snooze(1)
+            """), "RPR007")
+        assert f.line == 5
+
+    def test_bare_pool_constructions_flagged(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            def fan_out(fn, items):
+                with ProcessPoolExecutor() as ex:
+                    list(ex.map(fn, items))
+                multiprocessing.Pool(4)
+                multiprocessing.Process(target=fn)
+            """)
+        assert [f.rule_id for f in result.findings] == ["RPR007"] * 3, \
+            format_text(result)
+        assert all("SupervisedExecutor" in f.message
+                   for f in result.findings)
+
+    def test_injected_sleep_seam_allowed(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            def retry(fn, sleep, delays):
+                for delay in delays:
+                    try:
+                        return fn()
+                    except OSError:
+                        sleep(delay)
+            """)
+        assert result.ok, format_text(result)
+
+    def test_sleep_outside_loop_allowed(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import time
+
+            def settle():
+                time.sleep(0.1)
+            """)
+        assert result.ok, format_text(result)
+
+    def test_resilience_package_exempt(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import multiprocessing
+            import time
+
+            def supervisor(tasks):
+                while tasks:
+                    multiprocessing.Process(target=tasks.pop())
+                    time.sleep(0.02)
+            """, rel="repro/resilience/executor2.py")
+        assert result.ok, format_text(result)
+
+    def test_unrelated_process_class_allowed(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            from models import Pool
+
+            def swim(p):
+                return Pool(p)
+            """)
+        # a local class named Pool is not a multiprocessing pool
         assert result.ok, format_text(result)
 
 
