@@ -1,0 +1,40 @@
+"""Standalone driver for the self-hosted performance sentinel.
+
+Runs the same loop CI runs, against a local history so a developer can
+ask "did my working tree slow the library down?" without waiting for
+the nightly::
+
+    python benchmarks/perf_harness.py record            # grow baseline
+    python benchmarks/perf_harness.py check             # gate: exit 6
+    python benchmarks/perf_harness.py history --json
+    python benchmarks/perf_harness.py check --threshold 0.25
+
+All arguments after the action are forwarded to ``repro perf``; the
+history defaults to ``benchmarks/output/perf-history`` so repeated
+invocations accumulate baselines next to the figure outputs.  Exit
+codes follow the CLI: 0 pass, 6 regression detected.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+DEFAULT_STORE = Path(__file__).parent / "output" / "perf-history"
+
+
+def run(argv: "list[str] | None" = None) -> int:
+    """Forward to ``repro perf``, defaulting ``--store`` to the
+    benchmarks output directory."""
+    from repro.cli import main
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        argv = ["check"]
+    if "--store" not in argv:
+        argv += ["--store", str(DEFAULT_STORE)]
+    return main(["perf", *argv])
+
+
+if __name__ == "__main__":
+    sys.exit(run())

@@ -178,4 +178,47 @@ print("chaos ingest: 6/8 loaded, hang and crash both attributed, "
       "exit code 3")
 PY
 
+echo "== perf sentinel smoke (record, check, staged regression) =="
+# Record two baseline runs of the standard workload, require a clean
+# candidate to pass, then inject a compute slowdown into the workload's
+# campaign and require the sentinel to flag it with exit code 6.
+# VERDICT_OUT / PROFILE_OUT can point at CI workspace paths for upload.
+VERDICT_OUT="${VERDICT_OUT:-$(pwd)/perf-verdict.json}"
+PROFILE_OUT="${PROFILE_OUT:-$(pwd)/perf-flamegraph.collapsed}"
+PERF_DIR=$(mktemp -d)
+trap 'rm -rf "$OBS_CAMPAIGN" "$STORE_DIR" "$CHAOS_DIR" "$PERF_DIR"' EXIT
+PERF_ARGS=(--store "$PERF_DIR/history" --scale 0.05)
+python -m repro perf record "${PERF_ARGS[@]}" --label seed
+python -m repro perf record "${PERF_ARGS[@]}"
+python -m repro --profile 100 --profile-out "$PROFILE_OUT" \
+    perf check "${PERF_ARGS[@]}" --out "$VERDICT_OUT"
+python -m repro perf history --store "$PERF_DIR/history"
+python - "$PERF_DIR/history/workload/profiles" <<'PY'
+import sys
+from pathlib import Path
+
+from repro.workloads import inject_slowdown
+
+victim = sorted(Path(sys.argv[1]).glob("*.json"))[0]
+inject_slowdown(victim, seconds=0.5)
+print(f"staged compute regression in {victim.name}")
+PY
+rc=0
+python -m repro perf check "${PERF_ARGS[@]}" --out "$VERDICT_OUT" || rc=$?
+if [ "$rc" -ne 6 ]; then
+    echo "FAIL: staged regression exited $rc, expected 6" >&2
+    exit 1
+fi
+python - "$VERDICT_OUT" <<'PY'
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+assert doc["ok"] is False
+nodes = [r["node"] for r in doc["regressions"]]
+assert "ingest.profile" in nodes or "perf.workload.ingest" in nodes, nodes
+print(f"staged regression caught: {nodes[0]} "
+      f"({doc['regressions'][0]['relative_change']:+.1%}), exit code 6")
+PY
+
 echo "== all checks passed =="

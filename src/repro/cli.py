@@ -47,13 +47,27 @@ flags, accepted both before and after the subcommand name:
     (debug/info/warning/error); the ingest pipeline logs retries and
     quarantined profiles through it.
 
+A fourth global flag, ``--profile HZ``, attaches the background
+sampling profiler (:class:`repro.obs.SamplingProfiler`) to any
+subcommand and writes a collapsed-stack flamegraph file on exit
+(``--profile-out`` picks the path; a ``.json`` suffix switches to the
+speedscope format).
+
+The performance watchdog lives under ``repro perf``::
+
+    python -m repro perf record  --store perf/
+    python -m repro perf check   --store perf/
+    python -m repro perf compare --store perf/ --candidate run-000003
+    python -m repro perf history --store perf/ --json
+
 Exit codes: 0 success; 1 command-level failure (e.g. no query match);
 2 ingestion failed (strict error, or nothing loadable); 3 partial
 ingestion (the command succeeded but profiles were quarantined);
 4 corrupt or unreadable durable store (failed checksum, truncated
 file, or broken structural invariants under ``repro validate``);
 5 static-analysis findings (``repro lint`` found unsuppressed rule
-violations).
+violations); 6 performance regression (``repro perf check``/
+``compare`` found call-tree nodes slower than the stored baseline).
 """
 
 from __future__ import annotations
@@ -65,13 +79,15 @@ from typing import Sequence
 
 __all__ = ["main", "build_parser",
            "EXIT_OK", "EXIT_INGEST_FAILURE", "EXIT_PARTIAL_INGEST",
-           "EXIT_CORRUPT_STORE", "EXIT_LINT_FINDINGS"]
+           "EXIT_CORRUPT_STORE", "EXIT_LINT_FINDINGS",
+           "EXIT_PERF_REGRESSION"]
 
 EXIT_OK = 0
 EXIT_INGEST_FAILURE = 2
 EXIT_PARTIAL_INGEST = 3
 EXIT_CORRUPT_STORE = 4
 EXIT_LINT_FINDINGS = 5
+EXIT_PERF_REGRESSION = 6
 
 
 def _profile_paths(profile_dir: str) -> list[Path]:
@@ -284,13 +300,10 @@ def _cmd_obs(args) -> int:
         return 0
     print(obs.summarize_spans(roots, limit=args.limit))
     if metrics:
-        snapshot = obs.MetricsRegistry()
-        for name, value in (metrics.get("counters") or {}).items():
-            snapshot.increment(name, value)
-        for name, value in (metrics.get("gauges") or {}).items():
-            snapshot.set_gauge(name, value)
+        from .obs.metrics import format_snapshot
+
         print()
-        print(snapshot.summary())
+        print(format_snapshot(metrics))
     if args.tree:
         tk = obs.to_thicket(roots, metrics=metrics)
         print()
@@ -318,6 +331,126 @@ def _cmd_lint(args) -> int:
     return EXIT_OK if result.ok else EXIT_LINT_FINDINGS
 
 
+def _perf_policy_from_args(args):
+    """The sentinel policy with any ``--metric/--alpha/...`` overrides."""
+    from .perf import DEFAULT_POLICY
+
+    return DEFAULT_POLICY.with_overrides(
+        metric=getattr(args, "metric", None),
+        alpha=getattr(args, "alpha", None),
+        min_relative_change=getattr(args, "threshold", None),
+        min_seconds=getattr(args, "min_seconds", None),
+        min_samples=getattr(args, "min_samples", None))
+
+
+def _perf_workload_roots(args):
+    """Run the standard workload for record/check (shared arguments)."""
+    from .perf import workload_roots
+
+    work_dir = Path(args.work_dir) if args.work_dir \
+        else Path(args.store) / "workload"
+    return workload_roots(work_dir, repeats=args.repeats, scale=args.scale)
+
+
+def _write_verdict(args, verdict) -> None:
+    """Print the verdict (and write ``--out``, for CI artifacts)."""
+    import json as json_mod
+
+    doc = json_mod.dumps(verdict.to_dict(), indent=2, sort_keys=True)
+    if getattr(args, "out", None):
+        from .ioutil import atomic_write_text
+
+        atomic_write_text(Path(args.out), doc + "\n")
+        print(f"verdict written to {args.out}", file=sys.stderr)
+    if args.json:
+        print(doc)
+    else:
+        print(verdict.summary())
+
+
+def _cmd_perf_record(args) -> int:
+    """Run the standard workload once and append it to the history."""
+    import json as json_mod
+
+    from .perf import PerfStore
+
+    store = PerfStore(args.store)
+    roots = _perf_workload_roots(args)
+    info = store.record(roots, label=args.label)
+    if args.keep is not None:
+        removed = store.prune(args.keep)
+        if removed and not args.json:
+            print(f"pruned {len(removed)} old run(s): "
+                  f"{', '.join(removed)}", file=sys.stderr)
+    if args.json:
+        print(json_mod.dumps(info.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"recorded {info.run_id} "
+              f"({info.meta.get('spans')} spans, commit "
+              f"{str(info.meta.get('commit'))[:12]}) -> {store.root}")
+    return EXIT_OK
+
+
+def _cmd_perf_check(args) -> int:
+    """Run the workload fresh and gate it against the stored baseline."""
+    from .perf import PerfStore, check_store
+
+    store = PerfStore(args.store)
+    if len(store) == 0:
+        print(f"perf store {store.root} is empty — record a baseline "
+              f"first: repro perf record --store {store.root}",
+              file=sys.stderr)
+        return 1
+    roots = _perf_workload_roots(args)
+    verdict = check_store(store, roots, _perf_policy_from_args(args),
+                          limit=args.limit)
+    _write_verdict(args, verdict)
+    if verdict.ok and args.record:
+        info = store.record(roots, label=args.label)
+        print(f"recorded passing candidate as {info.run_id}",
+              file=sys.stderr)
+    return EXIT_OK if verdict.ok else EXIT_PERF_REGRESSION
+
+
+def _cmd_perf_compare(args) -> int:
+    """Compare a stored run / trace file against the baseline history."""
+    from .perf import PerfStore, check_store
+
+    store = PerfStore(args.store)
+    verdict = check_store(store, args.candidate,
+                          _perf_policy_from_args(args), limit=args.limit)
+    _write_verdict(args, verdict)
+    return EXIT_OK if verdict.ok else EXIT_PERF_REGRESSION
+
+
+def _cmd_perf_history(args) -> int:
+    """List the recorded runs (checksums verified while listing)."""
+    import json as json_mod
+
+    from .perf import PerfStore
+
+    store = PerfStore(args.store)
+    if args.prune is not None:
+        removed = store.prune(args.prune)
+        if removed and not args.json:
+            print(f"pruned {len(removed)} old run(s)", file=sys.stderr)
+    infos = store.runs()
+    if args.json:
+        print(json_mod.dumps([i.to_dict() for i in infos],
+                             indent=2, sort_keys=True))
+        return EXIT_OK
+    if not infos:
+        print(f"perf store {store.root} has no recorded runs")
+        return EXIT_OK
+    for info in infos:
+        m = info.meta
+        print(f"{info.run_id}  ts={m.get('timestamp', 0):.0f}  "
+              f"commit={str(m.get('commit'))[:12]}  "
+              f"machine={m.get('machine')}  spans={m.get('spans')}  "
+              f"label={m.get('label', '-')}")
+    return EXIT_OK
+
+
 def _add_obs_flags(parser, suppress: bool = False,
                    include_metrics: bool = True) -> None:
     """Observability flags; on subparsers the defaults are SUPPRESS so a
@@ -341,6 +474,15 @@ def _add_obs_flags(parser, suppress: bool = False,
     parser.add_argument("--log-level", dest="log_level", default=default,
                         choices=["debug", "info", "warning", "error"],
                         help="configure the repro.* logger hierarchy")
+    parser.add_argument("--profile", metavar="HZ", type=float,
+                        dest="profile_hz", default=default,
+                        help="attach the sampling profiler at HZ samples/s "
+                             "and write a flamegraph file on exit")
+    parser.add_argument("--profile-out", metavar="PATH", dest="profile_out",
+                        default=default,
+                        help="profiler output path (default "
+                             "repro-profile.collapsed; use a .json suffix "
+                             "for speedscope format)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -449,6 +591,87 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(p, suppress=True)
     p.set_defaults(fn=_cmd_lint)
 
+    p = sub.add_parser("perf", help="performance watchdog: record baseline "
+                                    "runs, check candidates for regressions")
+    perf_sub = p.add_subparsers(dest="perf_command", required=True)
+
+    def add_perf(name, fn, help_text):
+        pp = perf_sub.add_parser(name, help=help_text)
+        pp.add_argument("--store", default="perf-history", metavar="DIR",
+                        help="perf history directory "
+                             "(default: perf-history)")
+        pp.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+        _add_obs_flags(pp, suppress=True)
+        pp.set_defaults(fn=fn)
+        return pp
+
+    def add_perf_workload(pp):
+        pp.add_argument("--work-dir", dest="work_dir", default=None,
+                        metavar="DIR",
+                        help="workload scratch directory (default: "
+                             "<store>/workload; profiles are generated "
+                             "once and reused)")
+        pp.add_argument("--repeats", type=int, default=1, metavar="N",
+                        help="workload passes per run (default 1)")
+        pp.add_argument("--scale", type=float, default=None, metavar="S",
+                        help="campaign scale factor (default 0.1)")
+        pp.add_argument("--label", default=None,
+                        help="free-form label stored with the run")
+        from .perf.harness import DEFAULT_SCALE
+        pp.set_defaults(scale=DEFAULT_SCALE)
+
+    def add_perf_policy(pp):
+        pp.add_argument("--metric", default=None,
+                        help="metric column to compare "
+                             "(default: time (inc))")
+        pp.add_argument("--alpha", type=float, default=None,
+                        help="significance level for Welch's t-test")
+        pp.add_argument("--threshold", type=float, default=None,
+                        help="minimum relative change to flag "
+                             "(fraction, default 0.5)")
+        pp.add_argument("--min-seconds", type=float, default=None,
+                        dest="min_seconds",
+                        help="ignore nodes whose baseline mean is below "
+                             "this many seconds (default 0.01)")
+        pp.add_argument("--min-samples", type=int, default=None,
+                        dest="min_samples",
+                        help="runs required on each side before a node "
+                             "is judged (default 1)")
+        pp.add_argument("--limit", type=int, default=None, metavar="N",
+                        help="use only the newest N baseline runs")
+        pp.add_argument("--out", default=None, metavar="PATH",
+                        help="also write the verdict JSON to PATH "
+                             "(atomic; for CI artifacts)")
+
+    pp = add_perf("record", _cmd_perf_record,
+                  "run the standard workload and store it as a baseline run")
+    add_perf_workload(pp)
+    pp.add_argument("--keep", type=int, default=None, metavar="N",
+                    help="after recording, prune history to the newest N "
+                         "runs")
+
+    pp = add_perf("check", _cmd_perf_check,
+                  "run the workload fresh and exit 6 if it regressed "
+                  "vs the stored baseline")
+    add_perf_workload(pp)
+    add_perf_policy(pp)
+    pp.add_argument("--record", action="store_true",
+                    help="append the candidate to the history when it "
+                         "passes")
+
+    pp = add_perf("compare", _cmd_perf_compare,
+                  "compare a stored run id or trace file against the "
+                  "baseline history")
+    pp.add_argument("--candidate", required=True,
+                    help="run id (run-NNNNNN) or a --trace file path")
+    add_perf_policy(pp)
+
+    pp = add_perf("history", _cmd_perf_history,
+                  "list recorded runs (verifying checksums)")
+    pp.add_argument("--prune", type=int, default=None, metavar="N",
+                    help="first prune history to the newest N runs")
+
     p = sub.add_parser("obs", help="summarize a --trace file "
                                    "(span table, metrics, span tree)")
     p.add_argument("tracefile", help="trace file written by --trace "
@@ -490,6 +713,21 @@ def _finish_telemetry(args) -> None:
         print(telemetry.metrics.summary(), file=sys.stderr)
 
 
+def _finish_profiler(args, profiler) -> None:
+    """Stop the sampling profiler and write its flamegraph file."""
+    profiler.stop()
+    out = getattr(args, "profile_out", None) or "repro-profile.collapsed"
+    path = Path(out)
+    if path.suffix == ".json":
+        profiler.write_speedscope(path)
+        hint = "load at https://www.speedscope.app"
+    else:
+        profiler.write_collapsed(path)
+        hint = "render with flamegraph.pl or speedscope"
+    print(f"profile written to {path} ({profiler.total_samples} samples "
+          f"@ {profiler.hz:g} Hz; {hint})", file=sys.stderr)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     from .errors import PersistenceError, ReproError
 
@@ -507,6 +745,12 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         obs.reset()
         obs.enable()
+    profiler = None
+    profile_hz = getattr(args, "profile_hz", None)
+    if profile_hz:
+        from .obs import SamplingProfiler
+
+        profiler = SamplingProfiler(hz=profile_hz).start()
     try:
         rc = args.fn(args)
     except PersistenceError as e:
@@ -516,6 +760,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error [{e.stage}]: {type(e).__name__}: {e}", file=sys.stderr)
         return EXIT_INGEST_FAILURE
     finally:
+        if profiler is not None:
+            _finish_profiler(args, profiler)
         if tracing:
             _finish_telemetry(args)
     report = getattr(args, "_ingest_report", None)

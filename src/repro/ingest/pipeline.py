@@ -124,10 +124,13 @@ FAULT_KEY = "__repro_fault__"
 def _trip_fault(payload: Any, source: str, sleep) -> Any:
     """Execute an injected fault sentinel, if *payload* carries one.
 
-    ``slow_io`` sleeps then yields the embedded real payload; ``hang``
-    sleeps past any sane timeout then fails; ``worker_crash`` kills the
-    worker process outright (simulated as a typed error when running
-    inline on the main process, which must never die).
+    ``slow_io`` sleeps then yields the embedded real payload;
+    ``slowdown`` burns CPU for the configured seconds then yields it
+    (a *compute* regression rather than an I/O stall — the perf
+    sentinel's staged fault); ``hang`` sleeps past any sane timeout
+    then fails; ``worker_crash`` kills the worker process outright
+    (simulated as a typed error when running inline on the main
+    process, which must never die).
     """
     if not isinstance(payload, Mapping) or FAULT_KEY not in payload:
         return payload
@@ -136,6 +139,12 @@ def _trip_fault(payload: Any, source: str, sleep) -> Any:
     if mode == "slow_io":
         sleep(float(fault.get("seconds", 0.05)))
         return payload.get("payload", {})  # the wrapped real profile
+    if mode == "slowdown":
+        seconds = float(fault.get("seconds", 0.25))
+        t0 = time.perf_counter()
+        while time.perf_counter() - t0 < seconds:
+            sum(range(1000))  # busy-burn: wall AND cpu time inflate
+        return payload.get("payload", {})
     if mode == "hang":
         seconds = float(fault.get("seconds", 30.0))
         sleep(seconds)

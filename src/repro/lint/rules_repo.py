@@ -16,12 +16,14 @@ RPR004  no wall-clock reads outside the clock-service seams
 RPR005  deterministic serialization (sorted keys, no unsorted sets)
 RPR006  public API functions must carry docstrings
 RPR007  retries and pools route through ``repro.resilience``
+RPR008  telemetry names are static lowercase dotted string literals
 ======  ==============================================================
 """
 
 from __future__ import annotations
 
 import ast
+import re
 
 from .engine import FileContext, Rule, register
 
@@ -407,5 +409,58 @@ class ResilienceRoutingRule(Rule):
                    f"bulk work through resilience.SupervisedExecutor")
 
 
+_OBS_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
+
+
+@register
+class TelemetryNameRule(Rule):
+    rule_id = "RPR008"
+    severity = "error"
+    description = ("span()/counter()/gauge()/observe() names must be "
+                   "static lowercase dotted string literals")
+    rationale = ("the perf sentinel matches call-tree nodes by name "
+                 "across runs and machines; a computed or mixed-case "
+                 "telemetry name explodes metric cardinality and makes "
+                 "baseline comparison silently miss the node")
+
+    # the module-level helpers (and their conventional import aliases)
+    _BARE_FUNCS = {"span", "counter", "gauge", "observe",
+                   "obs_span", "obs_counter", "obs_gauge", "obs_observe"}
+    # attribute form: obs.span(...) / obs.counter(...)
+    _ATTR_OWNERS = {"obs"}
+    _ATTR_FUNCS = {"span", "counter", "gauge", "observe"}
+    # the definitions themselves forward `name` variables by design
+    ALLOWED_MODULES = ("obs/core.py", "obs/metrics.py")
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        if ctx.module_matches(self.ALLOWED_MODULES):
+            return
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in self._BARE_FUNCS:
+            label = func.id
+        elif isinstance(func, ast.Attribute) \
+                and func.attr in self._ATTR_FUNCS:
+            dotted = _dotted(func).split(".")
+            if len(dotted) != 2 or dotted[0] not in self._ATTR_OWNERS:
+                return
+            label = ".".join(dotted)
+        else:
+            return
+        if not node.args:
+            return  # e.g. an unrelated zero-arg helper named `span`
+        first = node.args[0]
+        if not (isinstance(first, ast.Constant)
+                and isinstance(first.value, str)):
+            ctx.report(self, node,
+                       f"{label}() name must be a static string literal "
+                       f"(computed names explode metric cardinality and "
+                       f"break cross-run baseline matching)")
+        elif not _OBS_NAME_RE.match(first.value):
+            ctx.report(self, node,
+                       f"{label}() name {first.value!r} is not lowercase "
+                       f"dotted (expected e.g. 'ingest.profile'); "
+                       f"inconsistent names fragment the metric namespace")
+
+
 REPO_RULE_IDS = ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
-                 "RPR006", "RPR007"]
+                 "RPR006", "RPR007", "RPR008"]

@@ -14,12 +14,17 @@ performance.  This subsystem provides:
 * the dogfood closer, :func:`to_thicket`, which converts a span tree
   into a real :class:`repro.core.Thicket` so every existing stats /
   query / viz API analyzes the library's own execution;
+* a background-thread :class:`SamplingProfiler` (collapsed-stack /
+  speedscope exporters, :func:`samples_to_thicket`) and a periodic
+  :class:`ResourceMonitor` recording RSS / CPU% / GC / thread-count
+  timelines into the metrics registry;
 * :func:`configure_logging` for the ``repro.*`` structured-logging
   hierarchy used by the ingest pipeline.
 
 CLI integration: every ``repro`` subcommand accepts global
-``--trace PATH``, ``--metrics`` and ``--log-level`` flags, and
-``repro obs TRACE`` summarizes a previously recorded trace.
+``--trace PATH``, ``--metrics``, ``--log-level``, and
+``--profile HZ`` flags, and ``repro obs TRACE`` summarizes a
+previously recorded trace.
 """
 
 from __future__ import annotations
@@ -51,15 +56,35 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
-from .metrics import HistogramSummary, MetricsRegistry
+from .metrics import (
+    HistogramSummary,
+    MetricsRegistry,
+    Timeline,
+    format_snapshot,
+)
+from .resources import ResourceMonitor, read_rss_bytes
+from .sampler import (
+    SamplingProfiler,
+    StackSample,
+    collapsed_stacks,
+    parse_collapsed,
+    read_speedscope,
+    samples_to_thicket,
+    to_speedscope,
+)
 
 __all__ = [
-    "Span", "Telemetry", "MetricsRegistry", "HistogramSummary",
+    "Span", "Telemetry", "MetricsRegistry", "HistogramSummary", "Timeline",
+    "format_snapshot",
     "span", "counter", "gauge", "observe",
     "enable", "disable", "reset", "get_telemetry", "telemetry_enabled",
     "write_jsonl", "read_jsonl", "write_chrome_trace", "read_chrome_trace",
     "load_trace", "summarize_spans", "spans_to_records", "records_to_spans",
     "to_thicket", "spans_to_graphframes",
+    "SamplingProfiler", "StackSample", "collapsed_stacks",
+    "parse_collapsed", "to_speedscope", "read_speedscope",
+    "samples_to_thicket",
+    "ResourceMonitor", "read_rss_bytes",
     "configure_logging",
 ]
 

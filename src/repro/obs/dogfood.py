@@ -63,8 +63,22 @@ def _span_literal(spans: "Sequence[Span]") -> list[dict]:
     return out
 
 
+def _scalar_attrs(span: Span) -> dict[str, Any]:
+    """The span's JSON-scalar attributes (non-scalars are dropped)."""
+    return {str(k): v for k, v in span.attrs.items()
+            if isinstance(v, (str, int, float, bool)) or v is None}
+
+
 def spans_to_graphframes(roots: Sequence[Span]):
-    """One :class:`~repro.graph.GraphFrame` per root span (per run)."""
+    """One :class:`~repro.graph.GraphFrame` per root span (per run).
+
+    Scalar span attributes — whether passed at ``span(...)`` creation
+    or attached later via ``span.set(...)`` — become metadata columns
+    on the run: the root span's as ``span.<key>``, nested spans' as
+    ``span.<name>.<key>`` (last write wins across repeated spans at the
+    same name).  This is how perf-store runs keep their commit /
+    machine / workload context through the Thicket conversion.
+    """
     from ..graph import GraphFrame
 
     gfs = []
@@ -78,8 +92,10 @@ def spans_to_graphframes(roots: Sequence[Span]):
             "trace.spans": n_spans,
             "trace.wall": root.duration,
         })
-        for key, value in root.attrs.items():
-            gf.metadata.setdefault(f"span.{key}", value)
+        for span in root.walk():
+            prefix = "span." if span is root else f"span.{span.name}."
+            for key, value in _scalar_attrs(span).items():
+                gf.metadata[f"{prefix}{key}"] = value
         gf.default_metric = WALL_EXC
         gfs.append(gf)
     return gfs

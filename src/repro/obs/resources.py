@@ -1,0 +1,167 @@
+"""Periodic process-resource monitor feeding bounded timelines.
+
+Performance regressions are not only about time: a run that got slower
+because its resident set doubled, or because the GC started thrashing,
+needs the resource story next to the call-path story.
+:class:`ResourceMonitor` wakes a daemon thread at a configurable
+interval and records four process gauges into
+:class:`~repro.obs.metrics.MetricsRegistry` timelines (bounded
+``(t, value)`` series that decimate past their cap):
+
+======================  ===========================================
+``proc.rss_bytes``      resident set size (``/proc/self/statm`` on
+                        Linux, ``resource.getrusage`` elsewhere)
+``proc.cpu_percent``    process CPU over the last interval
+                        (``Δprocess_time / Δwall × 100``)
+``proc.gc_collections`` cumulative GC collections across generations
+``proc.threads``        live Python thread count
+======================  ===========================================
+
+The latest value of each is mirrored into a plain gauge of the same
+name so ``repro obs``'s metric table shows the final state without
+plotting.  Clocks and the RSS reader are injectable for deterministic
+tests; pacing uses ``threading.Event.wait`` so ``stop()`` returns
+promptly.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import resource
+import threading
+import time
+from typing import Any, Callable
+
+from .core import get_telemetry
+from .metrics import MetricsRegistry
+
+__all__ = ["ResourceMonitor", "read_rss_bytes", "gc_collection_count"]
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def read_rss_bytes() -> float:
+    """Current resident set size in bytes (best effort, stdlib only)."""
+    try:
+        with open("/proc/self/statm") as fh:
+            return float(fh.read().split()[1]) * _PAGE_SIZE
+    except (OSError, ValueError, IndexError):
+        # ru_maxrss is KiB on Linux, bytes on macOS; both are close
+        # enough for a trend line on the platforms that land here.
+        return float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+                     * 1024)
+
+
+def gc_collection_count() -> float:
+    """Cumulative garbage-collection count across all generations."""
+    return float(sum(s.get("collections", 0) for s in gc.get_stats()))
+
+
+class ResourceMonitor:
+    """Background sampler of process resource gauges.
+
+    Parameters
+    ----------
+    interval:
+        Seconds between samples (default 0.25).
+    registry:
+        Target :class:`MetricsRegistry`; defaults to the process-wide
+        telemetry singleton's registry so resource timelines travel
+        with the trace metrics.
+    clock / cpu_clock / rss_reader:
+        Injectable measurement seams (defaults: ``time.perf_counter``,
+        ``time.process_time``, :func:`read_rss_bytes`).
+
+    Use as a context manager or with ``start()``/``stop()``;
+    ``sample_once()`` is public for deterministic tests.
+    """
+
+    METRICS = ("proc.rss_bytes", "proc.cpu_percent",
+               "proc.gc_collections", "proc.threads")
+
+    def __init__(self, interval: float = 0.25, *,
+                 registry: MetricsRegistry | None = None,
+                 clock: Callable[[], float] | None = None,
+                 cpu_clock: Callable[[], float] | None = None,
+                 rss_reader: Callable[[], float] | None = None):
+        if interval <= 0:
+            raise ValueError(
+                f"monitor interval must be positive, got {interval}")
+        self.interval = float(interval)
+        self.registry = registry if registry is not None \
+            else get_telemetry().metrics
+        self._clock = clock or time.perf_counter
+        self._cpu_clock = cpu_clock or time.process_time
+        self._rss_reader = rss_reader or read_rss_bytes
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._last_wall: float | None = None
+        self._last_cpu: float | None = None
+        self.n_samples = 0
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """True while the background monitor thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "ResourceMonitor":
+        """Launch the daemon monitor thread (idempotent); takes one
+        immediate sample so even short runs get a timeline point."""
+        if self.running:
+            return self
+        self._stop_event.clear()
+        self.sample_once()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-resources", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> "ResourceMonitor":
+        """Stop the monitor thread and take one final sample."""
+        was_running = self.running
+        self._stop_event.set()
+        thread = self._thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=5.0)
+        self._thread = None
+        if was_running:
+            self.sample_once()
+        return self
+
+    def __enter__(self) -> "ResourceMonitor":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        while not self._stop_event.wait(self.interval):
+            self.sample_once()
+
+    # -- sampling ------------------------------------------------------
+    def sample_once(self) -> dict[str, float]:
+        """Record one sample of every gauge; returns the values."""
+        now = self._clock()
+        cpu = self._cpu_clock()
+        if self._last_wall is not None and now > self._last_wall:
+            cpu_pct = 100.0 * (cpu - self._last_cpu) / (now - self._last_wall)
+        else:
+            cpu_pct = 0.0
+        self._last_wall, self._last_cpu = now, cpu
+        values = {
+            "proc.rss_bytes": float(self._rss_reader()),
+            "proc.cpu_percent": cpu_pct,
+            "proc.gc_collections": gc_collection_count(),
+            "proc.threads": float(threading.active_count()),
+        }
+        for name, value in values.items():
+            self.registry.record_point(name, now, value)
+            self.registry.set_gauge(name, value)
+        self.n_samples += 1
+        return values
+
+    def __repr__(self) -> str:
+        return (f"ResourceMonitor(interval={self.interval:g}, "
+                f"running={self.running}, samples={self.n_samples})")

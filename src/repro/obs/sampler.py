@@ -1,0 +1,444 @@
+"""Background-thread sampling profiler with call-path aggregation.
+
+Spans (``obs.core``) measure what the library *chose* to instrument; a
+sampling profiler measures where the interpreter actually spends its
+time, instrumented or not.  :class:`SamplingProfiler` wakes a daemon
+thread at a configurable rate, snapshots every live thread's Python
+stack via ``sys._current_frames()``, and folds each stack into an
+aggregated ``(thread, call path) → sample count`` table.  The result
+exports three ways:
+
+* **collapsed stacks** (``frame;frame;frame count`` lines, the
+  flamegraph.pl / inferno input format),
+* **speedscope JSON** (one sampled profile per thread, loadable at
+  speedscope.app), and
+* **a real Thicket** via :func:`samples_to_thicket` — one profile per
+  sampled thread, call-path nodes per frame, so the profiler's output
+  flows through the same stats / query / viz APIs as any other profile
+  (the same dogfood closure ``obs.to_thicket`` provides for spans).
+
+Design constraints mirror the tracing core: standard library only, an
+injectable clock (RPR004) so tests drive deterministic timestamps, and
+pacing via ``threading.Event.wait`` — interruptible, so ``stop()``
+returns promptly instead of sleeping out the interval.  The sampler
+never takes locks shared with the sampled code (it only reads frames),
+so it cannot deadlock the threads it observes; worker *processes*
+(e.g. ``resilience.SupervisedExecutor`` pools) are invisible to
+``sys._current_frames()`` and therefore can never be mis-attributed to
+the supervisor.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+from ..ioutil import atomic_write_text
+
+__all__ = [
+    "SamplingProfiler",
+    "StackSample",
+    "collapsed_stacks",
+    "parse_collapsed",
+    "to_speedscope",
+    "read_speedscope",
+    "samples_to_thicket",
+]
+
+_MAX_STACK_DEPTH = 200
+
+SPEEDSCOPE_SCHEMA = "https://www.speedscope.app/file-format-schema.json"
+
+
+def _frame_label(frame) -> str:
+    """``file.py:function`` label for one frame (stable, ';'-free)."""
+    code = frame.f_code
+    name = Path(code.co_filename).name or "?"
+    return f"{name}:{code.co_name}".replace(";", ",")
+
+
+def _stack_of(frame) -> tuple[str, ...]:
+    """Root→leaf label tuple for *frame*'s call stack, depth-capped."""
+    labels: list[str] = []
+    while frame is not None and len(labels) < _MAX_STACK_DEPTH:
+        labels.append(_frame_label(frame))
+        frame = frame.f_back
+    return tuple(reversed(labels))
+
+
+class StackSample:
+    """Aggregated samples for one thread: ``stack tuple → count``."""
+
+    __slots__ = ("tid", "thread_name", "count", "stacks")
+
+    def __init__(self, tid: int, thread_name: str):
+        self.tid = tid
+        self.thread_name = thread_name
+        self.count = 0
+        self.stacks: dict[tuple[str, ...], int] = {}
+
+    def add(self, stack: tuple[str, ...]) -> None:
+        self.count += 1
+        self.stacks[stack] = self.stacks.get(stack, 0) + 1
+
+    def __repr__(self) -> str:
+        return (f"StackSample(tid={self.tid}, "
+                f"thread={self.thread_name!r}, samples={self.count})")
+
+
+class SamplingProfiler:
+    """Periodic whole-process Python stack sampler.
+
+    Parameters
+    ----------
+    hz:
+        Target sampling rate in samples per second (default 100).
+    clock:
+        Injectable monotonic clock (default ``time.perf_counter``);
+        timestamps sample ticks and measures sampler overhead.
+    include_idle:
+        Sample threads other than the ones that called ``start()``
+        (default True — every live thread of this process).
+
+    Use as a context manager or with explicit ``start()``/``stop()``::
+
+        prof = SamplingProfiler(hz=100)
+        with prof:
+            run_workload()
+        print(prof.collapsed())
+
+    ``sample_once()`` is public so tests (and low-rate callers) can
+    take deterministic samples without the background thread.
+    """
+
+    def __init__(self, hz: float = 100.0, *,
+                 clock: Callable[[], float] | None = None,
+                 include_idle: bool = True):
+        if hz <= 0:
+            raise ValueError(f"sampling rate must be positive, got {hz}")
+        self.hz = float(hz)
+        self.interval = 1.0 / float(hz)
+        self.include_idle = include_idle
+        self._clock = clock or time.perf_counter
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self._samples: dict[int, StackSample] = {}
+        self.n_ticks = 0
+        self.overhead_seconds = 0.0
+        self.started_at: float | None = None
+        self.stopped_at: float | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """True while the background sampling thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "SamplingProfiler":
+        """Launch the daemon sampling thread (idempotent)."""
+        if self.running:
+            return self
+        self._stop_event.clear()
+        self.started_at = self._clock()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-sampler", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        """Signal the sampling thread and join it (idempotent)."""
+        self._stop_event.set()
+        thread = self._thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=5.0)
+        self._thread = None
+        if self.stopped_at is None and self.started_at is not None:
+            self.stopped_at = self._clock()
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        # Event.wait paces the loop: interruptible (stop() returns
+        # promptly) and drift-corrected against the injected clock.
+        next_tick = self._clock() + self.interval
+        while not self._stop_event.wait(
+                max(0.0, next_tick - self._clock())):
+            self.sample_once()
+            next_tick += self.interval
+            now = self._clock()
+            if next_tick < now:  # fell behind; skip missed ticks
+                next_tick = now + self.interval
+
+    # -- sampling ------------------------------------------------------
+    def sample_once(self) -> int:
+        """Snapshot every live thread's stack once; returns the number
+        of threads sampled.  Safe to call without ``start()``."""
+        t0 = self._clock()
+        sampler_tid = threading.get_ident()
+        names = {t.ident: t.name for t in threading.enumerate()}
+        frames = sys._current_frames()
+        n = 0
+        try:
+            with self._lock:
+                self.n_ticks += 1
+                for tid, frame in frames.items():
+                    if tid == sampler_tid:
+                        continue  # never profile the profiler
+                    if not self.include_idle and tid not in names:
+                        continue
+                    sample = self._samples.get(tid)
+                    if sample is None:
+                        sample = self._samples[tid] = StackSample(
+                            tid, names.get(tid, f"thread-{tid}"))
+                    sample.add(_stack_of(frame))
+                    n += 1
+        finally:
+            del frames  # drop frame references promptly
+        self.overhead_seconds += self._clock() - t0
+        return n
+
+    # -- results -------------------------------------------------------
+    def samples(self) -> list[StackSample]:
+        """Per-thread aggregated samples, ordered by thread id."""
+        with self._lock:
+            return [self._samples[tid] for tid in sorted(self._samples)]
+
+    @property
+    def total_samples(self) -> int:
+        """Total stack snapshots across every sampled thread."""
+        with self._lock:
+            return sum(s.count for s in self._samples.values())
+
+    def collapsed(self) -> str:
+        """Collapsed-stack (flamegraph.pl) text for all threads."""
+        return collapsed_stacks(self.samples())
+
+    def speedscope(self, name: str = "repro sampling profile") -> dict:
+        """Speedscope JSON document for all threads."""
+        return to_speedscope(self.samples(), interval=self.interval,
+                             name=name)
+
+    def write_collapsed(self, path: "str | Path") -> Path:
+        """Atomically write the collapsed-stack text to *path*."""
+        return atomic_write_text(Path(path), self.collapsed())
+
+    def write_speedscope(self, path: "str | Path") -> Path:
+        """Atomically write the speedscope JSON document to *path*."""
+        return atomic_write_text(
+            Path(path), json.dumps(self.speedscope(), sort_keys=True))
+
+    def to_thicket(self, metadata: Mapping[str, Any] | None = None):
+        """The sampled call-path forest as a :class:`repro.core.Thicket`
+        (one profile per sampled thread)."""
+        return samples_to_thicket(self.samples(), interval=self.interval,
+                                  metadata=metadata)
+
+    def __repr__(self) -> str:
+        return (f"SamplingProfiler(hz={self.hz:g}, "
+                f"running={self.running}, ticks={self.n_ticks}, "
+                f"threads={len(self._samples)})")
+
+
+# ----------------------------------------------------------------------
+# collapsed-stack format
+# ----------------------------------------------------------------------
+
+def collapsed_stacks(samples: Sequence[StackSample]) -> str:
+    """Render samples as ``thread;frame;...;frame count`` lines.
+
+    The first path element names the thread, so one file holds every
+    thread's flamegraph without collisions.  Lines are sorted for
+    deterministic output.
+    """
+    lines = []
+    for sample in samples:
+        head = f"thread ({sample.thread_name})".replace(";", ",")
+        for stack, count in sample.stacks.items():
+            path = ";".join((head,) + stack) if stack else head
+            lines.append(f"{path} {count}")
+    return "\n".join(sorted(lines)) + ("\n" if lines else "")
+
+
+def parse_collapsed(text: str) -> dict[tuple[str, ...], int]:
+    """Inverse of :func:`collapsed_stacks`: ``stack tuple → count``.
+
+    The thread pseudo-frame stays as the first tuple element; repeated
+    stacks accumulate.
+    """
+    out: dict[tuple[str, ...], int] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        path, _, count = line.rpartition(" ")
+        if not path or not count.isdigit():
+            raise ValueError(
+                f"not a collapsed-stack line (want 'a;b;c N'): {line!r}")
+        stack = tuple(path.split(";"))
+        out[stack] = out.get(stack, 0) + int(count)
+    return out
+
+
+# ----------------------------------------------------------------------
+# speedscope format
+# ----------------------------------------------------------------------
+
+def to_speedscope(samples: Sequence[StackSample], *,
+                  interval: float = 0.01,
+                  name: str = "repro sampling profile") -> dict:
+    """Build a speedscope ``sampled``-type document (one profile per
+    thread, weights in seconds estimated as ``count * interval``)."""
+    frame_index: dict[str, int] = {}
+    frames: list[dict[str, str]] = []
+
+    def index_of(label: str) -> int:
+        i = frame_index.get(label)
+        if i is None:
+            i = frame_index[label] = len(frames)
+            frames.append({"name": label})
+        return i
+
+    profiles = []
+    for sample in samples:
+        sample_rows: list[list[int]] = []
+        weights: list[float] = []
+        for stack in sorted(sample.stacks):
+            sample_rows.append([index_of(label) for label in stack])
+            weights.append(sample.stacks[stack] * interval)
+        profiles.append({
+            "type": "sampled",
+            "name": f"{sample.thread_name} (tid {sample.tid})",
+            "unit": "seconds",
+            "startValue": 0,
+            "endValue": round(sum(weights), 9),
+            "samples": sample_rows,
+            "weights": [round(w, 9) for w in weights],
+        })
+    return {
+        "$schema": SPEEDSCOPE_SCHEMA,
+        "name": name,
+        "shared": {"frames": frames},
+        "profiles": profiles,
+    }
+
+
+def read_speedscope(source: "str | Path | Mapping[str, Any]"
+                    ) -> list[StackSample]:
+    """Inverse of :func:`to_speedscope` (path, JSON text, or dict).
+
+    Counts are recovered from weights by dividing out the smallest
+    positive weight (the per-sample interval), so a round trip
+    preserves relative sample counts exactly.
+    """
+    if isinstance(source, Mapping):
+        doc: Any = source
+    else:
+        text = str(source)
+        if isinstance(source, Path) or not text.lstrip().startswith("{"):
+            text = Path(source).read_text()
+        doc = json.loads(text)
+    if not isinstance(doc, Mapping) or "profiles" not in doc:
+        raise ValueError("not a speedscope document (no 'profiles' key)")
+    frames = [f.get("name", "?")
+              for f in (doc.get("shared") or {}).get("frames", [])]
+    out = []
+    for tid, prof in enumerate(doc["profiles"]):
+        weights = [float(w) for w in prof.get("weights", [])]
+        unit = min((w for w in weights if w > 0), default=1.0)
+        sample = StackSample(tid, str(prof.get("name", f"profile-{tid}")))
+        for row, weight in zip(prof.get("samples", []), weights):
+            stack = tuple(frames[i] for i in row)
+            count = max(1, int(round(weight / unit)))
+            sample.stacks[stack] = sample.stacks.get(stack, 0) + count
+            sample.count += count
+        out.append(sample)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Thicket integration: samples become profiles
+# ----------------------------------------------------------------------
+
+def _stacks_to_literal(stacks: Mapping[tuple[str, ...], int],
+                       interval: float) -> list[dict]:
+    """Fold flat stacks into the nested literal tree GraphFrame reads."""
+    root: dict[str, Any] = {"children": {}, "self": 0, "total": 0}
+
+    for stack, count in stacks.items():
+        node = root
+        node["total"] += count
+        for label in stack:
+            node = node["children"].setdefault(
+                label, {"children": {}, "self": 0, "total": 0})
+            node["total"] += count
+        node["self"] += count
+
+    def emit(children: dict) -> list[dict]:
+        out = []
+        for label in sorted(children):
+            node = children[label]
+            spec: dict[str, Any] = {
+                "frame": {"name": label, "type": "function"},
+                "metrics": {
+                    "samples": float(node["self"]),
+                    "samples (inc)": float(node["total"]),
+                    "time (est)": node["total"] * interval,
+                },
+            }
+            if node["children"]:
+                spec["children"] = emit(node["children"])
+            out.append(spec)
+        return out
+
+    return emit(root["children"])
+
+
+def samples_to_thicket(samples: Sequence[StackSample], *,
+                       interval: float = 0.01,
+                       metadata: Mapping[str, Any] | None = None):
+    """Convert per-thread samples into a :class:`repro.core.Thicket`.
+
+    One profile per sampled thread; call-path nodes per frame, with
+    ``samples`` (exclusive), ``samples (inc)``, and an estimated
+    ``time (est)`` (= inclusive samples × interval) metric.  Raises
+    :class:`repro.errors.CompositionError` when no thread has samples.
+    """
+    from ..core.thicket import Thicket
+    from ..errors import CompositionError
+    from ..graph import GraphFrame
+
+    populated = [s for s in samples if s.stacks]
+    if not populated:
+        raise CompositionError("sampling profile contains no samples")
+    gfs = []
+    for sample in populated:
+        gf = GraphFrame.from_literal(
+            _stacks_to_literal(sample.stacks, interval))
+        gf.metadata.update({
+            "sampler.tid": sample.tid,
+            "sampler.thread": sample.thread_name,
+            "sampler.samples": sample.count,
+            "sampler.interval": interval,
+        })
+        for key, value in (metadata or {}).items():
+            gf.metadata.setdefault(str(key), value)
+        gf.default_metric = "samples"
+        gfs.append(gf)
+    tk = Thicket._compose(gfs, profile_ids=[s.tid for s in populated])
+    tk.default_metric = "samples"
+    tk.provenance["sampler"] = {
+        "threads": len(populated),
+        "samples": sum(s.count for s in populated),
+        "interval": interval,
+    }
+    return tk

@@ -1,0 +1,39 @@
+"""``repro.perf`` — the self-hosted performance sentinel.
+
+The paper's §6 workflow — collect profiles from recurring runs,
+compose them into an ensemble, ask "which regions got slower since the
+baseline?" — applied to this library itself:
+
+* :class:`PerfStore` (``store.py``) persists each recorded run (an
+  ``obs`` trace converted through ``obs.to_thicket``) into an
+  append-only, checksummed on-disk history with machine / commit /
+  timestamp metadata, retention pruning, and ``load_history()``
+  returning the composed multi-run baseline ensemble Thicket.
+* :class:`PerfPolicy` / :class:`PerfVerdict` / :func:`check_regression`
+  (``sentinel.py``) compare a candidate run against that baseline via
+  :func:`repro.core.regression.compare_thickets` and produce a typed
+  verdict: regressions, improvements, new and vanished nodes.
+* :func:`run_campaign_workload` (``harness.py``) is the standard
+  traced workload — campaign ingest + stats + query — that ``repro
+  perf record|check`` and ``benchmarks/perf_harness.py`` execute.
+
+CLI: ``repro perf record|compare|check|history`` with exit code 6 on a
+detected regression; ``scripts/check.sh`` runs the loop as a CI gate.
+"""
+
+from .harness import run_campaign_workload, workload_roots
+from .sentinel import (
+    DEFAULT_POLICY,
+    PerfPolicy,
+    PerfVerdict,
+    check_regression,
+    check_store,
+)
+from .store import PerfRunInfo, PerfStore
+
+__all__ = [
+    "PerfStore", "PerfRunInfo",
+    "PerfPolicy", "PerfVerdict", "DEFAULT_POLICY",
+    "check_regression", "check_store",
+    "run_campaign_workload", "workload_roots",
+]

@@ -12,6 +12,7 @@ from .campaign import (
     corrupt_store,
     inject_hang,
     inject_slow_io,
+    inject_slowdown,
     inject_worker_crash,
     iter_marbl_profiles,
     iter_raja_profiles,
@@ -66,6 +67,6 @@ __all__ = [
     "iter_marbl_profiles", "write_marbl_campaign",
     "load_campaign", "corrupt_campaign", "CORRUPTION_MODES",
     "EXECUTION_FAULT_MODES", "inject_hang", "inject_slow_io",
-    "inject_worker_crash",
+    "inject_slowdown", "inject_worker_crash",
     "corrupt_store", "STORE_CORRUPTION_MODES",
 ]

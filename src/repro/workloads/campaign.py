@@ -44,6 +44,7 @@ __all__ = [
     "EXECUTION_FAULT_MODES",
     "inject_hang",
     "inject_slow_io",
+    "inject_slowdown",
     "inject_worker_crash",
     "corrupt_store",
     "STORE_CORRUPTION_MODES",
@@ -337,6 +338,18 @@ def inject_slow_io(path: str | Path, seconds: float = 0.05) -> Path:
     return _wrap_fault(path, {"mode": "slow_io", "seconds": seconds})
 
 
+def inject_slowdown(path: str | Path, seconds: float = 0.25) -> Path:
+    """Make ingesting *path* burn CPU for *seconds* before succeeding.
+
+    Unlike :func:`inject_slow_io` (an injectable-sleep I/O stall) this
+    is a genuine compute regression: wall *and* CPU time of the ingest
+    span inflate, so the perf sentinel (``repro perf check``) flags the
+    ingest node.  This is the staged fault ``scripts/check.sh`` uses to
+    prove the watchdog actually fires.
+    """
+    return _wrap_fault(path, {"mode": "slowdown", "seconds": seconds})
+
+
 def inject_worker_crash(path: str | Path) -> Path:
     """Make ingesting *path* kill its worker process outright.
 
@@ -355,6 +368,10 @@ def _inject_slow_io_mode(path: Path, rng: random.Random) -> None:
     inject_slow_io(path)
 
 
+def _inject_slowdown_mode(path: Path, rng: random.Random) -> None:
+    inject_slowdown(path)
+
+
 def _inject_worker_crash_mode(path: Path, rng: random.Random) -> None:
     inject_worker_crash(path)
 
@@ -365,6 +382,7 @@ def _inject_worker_crash_mode(path: Path, rng: random.Random) -> None:
 EXECUTION_FAULT_MODES = {
     "hang": _inject_hang_mode,
     "slow_io": _inject_slow_io_mode,
+    "slowdown": _inject_slowdown_mode,
     "worker_crash": _inject_worker_crash_mode,
 }
 

@@ -421,6 +421,76 @@ class TestResilienceRouting:
         assert result.ok, format_text(result)
 
 
+class TestTelemetryNames:
+    def test_fstring_name_flagged(self, tmp_path):
+        f = sole_finding(lint_source(tmp_path, """\
+            from repro.obs import counter
+
+            def note(stage):
+                counter(f"ingest.{stage}.done")
+            """), "RPR008")
+        assert f.line == 4
+
+    def test_computed_name_flagged(self, tmp_path):
+        sole_finding(lint_source(tmp_path, """\
+            from repro.obs import span
+
+            def trace(prefix):
+                with span(prefix + ".load"):
+                    pass
+            """), "RPR008")
+
+    def test_uppercase_literal_flagged(self, tmp_path):
+        f = sole_finding(lint_source(tmp_path, """\
+            import repro.obs as obs
+
+            def work():
+                obs.gauge("Ingest.QueueDepth", 3.0)
+            """), "RPR008")
+        assert "Ingest.QueueDepth" in f.message
+
+    def test_spaced_literal_flagged(self, tmp_path):
+        sole_finding(lint_source(tmp_path, """\
+            from repro.obs import observe
+
+            def work():
+                observe("load latency", 0.5)
+            """), "RPR008")
+
+    def test_static_dotted_names_allowed(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import repro.obs as obs
+            from repro.obs import counter
+            from repro.obs import span as obs_span
+
+            def work():
+                with obs_span("perf.workload.ingest"):
+                    counter("ingest.profiles_loaded", 2)
+                    obs.gauge("pool.queue_depth", 1.0)
+            """)
+        assert result.ok, format_text(result)
+
+    def test_defining_module_exempt(self, tmp_path):
+        # obs.core forwards caller-supplied names by design
+        result = lint_source(tmp_path, """\
+            def counter(name, value=1.0):
+                return _get().metrics.increment(name, value)
+
+            def forward(name):
+                return counter(name)
+            """, rel="repro/obs/core.py")
+        assert result.ok, format_text(result)
+
+    def test_deep_attribute_calls_not_matched(self, tmp_path):
+        # registry methods take caller-supplied names; only the
+        # module-level helpers and obs.<fn> form are checked
+        result = lint_source(tmp_path, """\
+            def relay(telemetry, name):
+                return telemetry.metrics.observe(name, 1.0)
+            """)
+        assert result.ok, format_text(result)
+
+
 # ----------------------------------------------------------------------
 # Family B: query-literal rules
 # ----------------------------------------------------------------------

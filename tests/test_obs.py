@@ -183,6 +183,35 @@ class TestMetricsRegistry:
         assert h.count == 3 * _HISTOGRAM_SAMPLE_CAP
         assert len(h.sample) <= _HISTOGRAM_SAMPLE_CAP
 
+    def test_histogram_summary_schema_is_stable(self):
+        # external consumers (repro obs --json, perf store snapshots)
+        # key off these names: changing them is a breaking change
+        h = HistogramSummary()
+        h.add(1.0)
+        assert set(h.to_dict()) == {
+            "count", "sum", "min", "max", "mean", "p50", "p95", "p99"}
+        d = h.to_dict()
+        assert d["sum"] == 1.0 and d["p99"] == 1.0
+
+    def test_summary_text_reports_p99_and_sum(self):
+        reg = MetricsRegistry()
+        for v in range(1, 101):
+            reg.observe("latency", float(v))
+        text = reg.summary()
+        assert "p99=" in text and "sum=" in text
+        assert "sum=5050" in text
+
+    def test_format_snapshot_handles_partial_snapshots(self):
+        from repro.obs import format_snapshot
+
+        # trace files written before timelines existed lack the key
+        assert "counters:" in format_snapshot({"counters": {"a": 1.0}})
+        assert format_snapshot({}) == "(no metrics recorded)"
+        reg = MetricsRegistry()
+        reg.record_point("proc.rss_bytes", 0.0, 123.0)
+        text = format_snapshot(reg.snapshot())
+        assert "timelines:" in text and "proc.rss_bytes" in text
+
     def test_module_helpers_noop_when_disabled(self):
         obs.counter("x")
         obs.gauge("y", 1.0)

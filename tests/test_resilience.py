@@ -546,7 +546,7 @@ class TestFaultInjection:
             assert payload["__repro_fault__"]["mode"] in \
                 ("worker_crash", "slow_io")
         assert set(EXECUTION_FAULT_MODES) == \
-            {"hang", "slow_io", "worker_crash"}
+            {"hang", "slow_io", "worker_crash", "slowdown"}
 
     def test_unknown_mode_still_rejected(self, tmp_path):
         paths = write_marbl_campaign(tmp_path, scale=0.2)
