@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Repo health check: tier-1 tests, warning-clean bytecode compilation,
 # static analysis, smoke runs of the fault-tolerant ingestion
-# benchmark and observability stack, durable-store recovery, and a
-# supervised-parallel chaos smoke (hang + worker crash).
+# benchmark and observability stack, durable-store recovery, a
+# supervised-parallel chaos smoke (hang + worker crash), the perf
+# sentinel, and a serve lifecycle smoke (admission, shedding, drain,
+# kill -9 recovery).
 #
 # Usage: scripts/check.sh  (from anywhere; cd's to the repo root)
 
@@ -220,5 +222,163 @@ assert "ingest.profile" in nodes or "perf.workload.ingest" in nodes, nodes
 print(f"staged regression caught: {nodes[0]} "
       f"({doc['regressions'][0]['relative_change']:+.1%}), exit code 6")
 PY
+
+echo "== serve smoke (concurrency, shed, drain, kill -9 recovery) =="
+# Start the analysis daemon against a real store and require, in order:
+# concurrent clients all served 200, a saturated queue shed with a
+# typed 429 + Retry-After, SIGTERM draining to exit code 0 (with the
+# server's own trace written), and kill -9 leaving a store that
+# `repro validate` passes and a restarted server picks up cleanly.
+# SERVE_TRACE_OUT can point at a CI workspace path for upload.
+SERVE_TRACE_OUT="${SERVE_TRACE_OUT:-$(pwd)/serve-trace.json}"
+SERVE_DIR=$(mktemp -d)
+trap 'rm -rf "$OBS_CAMPAIGN" "$STORE_DIR" "$CHAOS_DIR" "$PERF_DIR" \
+    "$SERVE_DIR"' EXIT
+python -m repro ingest "$OBS_CAMPAIGN" \
+    --save "$SERVE_DIR/stores/demo.json" >/dev/null
+
+serve_port() {  # wait for the startup banner, echo the bound port
+    for _ in $(seq 100); do
+        port=$(sed -n 's|.*http://[^:]*:\([0-9]*\).*|\1|p' "$1")
+        [ -n "$port" ] && { echo "$port"; return 0; }
+        sleep 0.1
+    done
+    echo "FAIL: serve banner never appeared in $1" >&2
+    return 1
+}
+
+# phase 1: a generously provisioned server takes a concurrent burst
+# with zero sheds, then SIGTERM drains to exit 0 with its trace written
+python -m repro --trace "$SERVE_TRACE_OUT" serve \
+    --store "$SERVE_DIR/stores" --port 0 --workers 4 --queue-limit 32 \
+    --max-inflight 64 --drain-deadline 10 \
+    2> "$SERVE_DIR/serve-1.log" &
+SERVE_PID=$!
+SERVE_PORT=$(serve_port "$SERVE_DIR/serve-1.log")
+python - "$SERVE_PORT" <<'PY'
+import http.client
+import json
+import sys
+import threading
+
+port = int(sys.argv[1])
+
+def request(method, path, body=None, timeout=10.0):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        payload = json.dumps(body) if body is not None else None
+        conn.request(method, path, body=payload,
+                     headers={"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        return resp.status, json.loads(resp.read()), dict(resp.getheaders())
+    finally:
+        conn.close()
+
+status, body, _ = request("GET", "/healthz")
+assert status == 200, (status, body)
+
+results = []
+def worker():
+    results.append(request("POST", "/v1/query", {
+        "dataset": "demo",
+        "query": 'MATCH (".", p) WHERE p."name" =~ "Stream.*"'}))
+threads = [threading.Thread(target=worker) for _ in range(8)]
+for t in threads:
+    t.start()
+for t in threads:
+    t.join()
+assert len(results) == 8
+for status, body, _ in results:
+    assert status == 200, (status, body)
+    assert body["matched_nodes"] >= 1, body
+print("serve smoke: 8 concurrent queries all 200")
+PY
+kill -TERM "$SERVE_PID"
+rc=0
+wait "$SERVE_PID" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "FAIL: SIGTERM drain exited $rc, expected 0" >&2
+    exit 1
+fi
+if [ ! -s "$SERVE_TRACE_OUT" ]; then
+    echo "FAIL: no serve trace written to $SERVE_TRACE_OUT" >&2
+    exit 1
+fi
+echo "serve smoke: SIGTERM drained to exit 0, trace at $SERVE_TRACE_OUT"
+
+# phase 2: a tiny-queue server is wedged with injected hangs and must
+# shed the next request with a typed 429 queue_full + Retry-After,
+# then survive kill -9 with the store intact
+python -m repro serve --store "$SERVE_DIR/stores" --port 0 \
+    --workers 2 --queue-limit 1 --max-inflight 16 --request-timeout 2 \
+    2> "$SERVE_DIR/serve-2.log" &
+SERVE_PID=$!
+SERVE_PORT=$(serve_port "$SERVE_DIR/serve-2.log")
+python - "$SERVE_PORT" <<'PY'
+import http.client
+import json
+import sys
+import threading
+
+port = int(sys.argv[1])
+
+def request(method, path, body=None, timeout=10.0):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        payload = json.dumps(body) if body is not None else None
+        conn.request(method, path, body=payload,
+                     headers={"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        return resp.status, json.loads(resp.read()), dict(resp.getheaders())
+    finally:
+        conn.close()
+
+# wedge both workers plus the 1-slot queue with injected hangs
+hang = {"name": "wedge", "overwrite": True, "profiles": [
+    {"__repro_fault__": {"mode": "hang", "seconds": 3.0}, "payload": {}}]}
+hangers = [threading.Thread(
+    target=lambda: request("POST", "/v1/ingest", hang)) for _ in range(3)]
+for t in hangers:
+    t.start()
+shed = None
+for _ in range(100):
+    status, body, headers = request("POST", "/v1/query", {
+        "dataset": "demo", "query": 'MATCH (".", p)'})
+    if status == 429:
+        shed = status, body, headers
+        break
+assert shed is not None, "queue never saturated into a 429"
+status, body, headers = shed
+assert body["error"]["code"] == "queue_full", body
+assert "Retry-After" in headers, headers
+for t in hangers:
+    t.join()
+print(f"serve smoke: saturated queue shed with 429 "
+      f"(Retry-After: {headers['Retry-After']})")
+PY
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+python -m repro validate "$SERVE_DIR/stores/demo.json"
+python -m repro serve --store "$SERVE_DIR/stores" --port 0 \
+    2> "$SERVE_DIR/serve-3.log" &
+SERVE_PID=$!
+SERVE_PORT=$(serve_port "$SERVE_DIR/serve-3.log")
+python - "$SERVE_PORT" <<'PY'
+import http.client
+import json
+import sys
+
+conn = http.client.HTTPConnection("127.0.0.1", int(sys.argv[1]), timeout=10.0)
+conn.request("POST", "/v1/query", body=json.dumps(
+    {"dataset": "demo", "query": 'MATCH (".", p)'}),
+    headers={"Content-Type": "application/json"})
+resp = conn.getresponse()
+body = json.loads(resp.read())
+assert resp.status == 200, (resp.status, body)
+conn.close()
+print("serve smoke: post-kill-9 restart validates and serves")
+PY
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
 
 echo "== all checks passed =="

@@ -60,6 +60,17 @@ The performance watchdog lives under ``repro perf``::
     python -m repro perf compare --store perf/ --candidate run-000003
     python -m repro perf history --store perf/ --json
 
+The supervised analysis service lives under ``repro serve``::
+
+    python -m repro serve --store stores/ --port 8080
+    python -m repro serve --store stores/ --rate 50 --max-inflight 16 \
+                          --soft-limit-mb 512 --hard-limit-mb 1024
+
+It exposes the thicket stores in a directory over an HTTP JSON API
+(``/healthz``, ``/readyz``, ``/v1/query``, ``/v1/stats``,
+``/v1/ingest``, ``/v1/metrics``) with admission control, per-request
+deadlines, and memory-pressure degradation; SIGTERM drains gracefully.
+
 Exit codes: 0 success; 1 command-level failure (e.g. no query match);
 2 ingestion failed (strict error, or nothing loadable); 3 partial
 ingestion (the command succeeded but profiles were quarantined);
@@ -67,7 +78,9 @@ ingestion (the command succeeded but profiles were quarantined);
 file, or broken structural invariants under ``repro validate``);
 5 static-analysis findings (``repro lint`` found unsuppressed rule
 violations); 6 performance regression (``repro perf check``/
-``compare`` found call-tree nodes slower than the stored baseline).
+``compare`` found call-tree nodes slower than the stored baseline);
+7 serve failure (``repro serve`` could not bind its port or the
+service aborted outside a clean signal-driven drain).
 """
 
 from __future__ import annotations
@@ -80,7 +93,7 @@ from typing import Sequence
 __all__ = ["main", "build_parser",
            "EXIT_OK", "EXIT_INGEST_FAILURE", "EXIT_PARTIAL_INGEST",
            "EXIT_CORRUPT_STORE", "EXIT_LINT_FINDINGS",
-           "EXIT_PERF_REGRESSION"]
+           "EXIT_PERF_REGRESSION", "EXIT_SERVE_FAILURE"]
 
 EXIT_OK = 0
 EXIT_INGEST_FAILURE = 2
@@ -88,6 +101,7 @@ EXIT_PARTIAL_INGEST = 3
 EXIT_CORRUPT_STORE = 4
 EXIT_LINT_FINDINGS = 5
 EXIT_PERF_REGRESSION = 6
+EXIT_SERVE_FAILURE = 7
 
 
 def _profile_paths(profile_dir: str) -> list[Path]:
@@ -274,6 +288,51 @@ def _cmd_validate(args) -> int:
     if not report.ok:
         return EXIT_CORRUPT_STORE
     return 0
+
+
+def _cmd_serve(args) -> int:
+    """Run the supervised analysis service until SIGTERM/SIGINT."""
+    from .obs import get_telemetry
+    from .serve import (
+        AdmissionController,
+        AnalysisService,
+        PressureGovernor,
+        ReproServer,
+        WorkerPool,
+    )
+
+    # a long-lived daemon must bound its trace buffer
+    get_telemetry().set_span_cap(10_000)
+    soft, hard = args.soft_limit_mb, args.hard_limit_mb
+    if (soft is None) != (hard is None):
+        raise SystemExit("serve: --soft-limit-mb and --hard-limit-mb "
+                         "must be given together")
+    governor = None
+    if soft is not None:
+        governor = PressureGovernor(soft * 1024 * 1024,
+                                    hard * 1024 * 1024)
+    admission = AdmissionController(
+        max_inflight=args.max_inflight, rate=args.rate, burst=args.burst,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown)
+    pool = WorkerPool(args.workers, args.queue_limit,
+                      task_timeout=args.request_timeout)
+    service = AnalysisService(args.store, admission=admission, pool=pool,
+                              governor=governor,
+                              request_timeout=args.request_timeout)
+    try:
+        server = ReproServer(service, args.host, args.port,
+                             drain_deadline=args.drain_deadline)
+    except OSError as e:
+        print(f"serve: cannot bind {args.host}:{args.port}: {e}",
+              file=sys.stderr)
+        service.shutdown()
+        return EXIT_SERVE_FAILURE
+    print(f"repro-serve listening on http://{args.host}:{server.port} "
+          f"(store={args.store}, workers={args.workers}, "
+          f"datasets={len(service.datasets())})",
+          file=sys.stderr, flush=True)
+    return server.run_until_signal()
 
 
 def _cmd_obs(args) -> int:
@@ -591,6 +650,60 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(p, suppress=True)
     p.set_defaults(fn=_cmd_lint)
 
+    p = sub.add_parser("serve",
+                       help="serve the thicket stores in a directory over "
+                            "an HTTP JSON API with admission control and "
+                            "graceful degradation")
+    p.add_argument("--store", required=True, metavar="DIR",
+                   help="directory of <dataset>.json thicket stores "
+                        "(created if missing)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8080,
+                   help="bind port (0 picks a free port; default 8080)")
+    p.add_argument("--workers", type=int, default=4, metavar="N",
+                   help="request worker threads (default 4)")
+    p.add_argument("--queue-limit", type=int, default=16,
+                   dest="queue_limit", metavar="N",
+                   help="bounded work-queue depth; submissions beyond it "
+                        "are shed with 429 (default 16)")
+    p.add_argument("--max-inflight", type=int, default=32,
+                   dest="max_inflight", metavar="N",
+                   help="admission concurrency bound: running + queued "
+                        "requests (default 32)")
+    p.add_argument("--rate", type=float, default=0.0, metavar="RPS",
+                   help="token-bucket requests/second cap "
+                        "(0 disables; default 0)")
+    p.add_argument("--burst", type=float, default=None, metavar="N",
+                   help="token-bucket burst capacity (default: max(1, "
+                        "rate))")
+    p.add_argument("--request-timeout", type=float, default=30.0,
+                   dest="request_timeout", metavar="SEC",
+                   help="per-request deadline; a hung query is abandoned "
+                        "and its worker replaced (default 30)")
+    p.add_argument("--drain-deadline", type=float, default=10.0,
+                   dest="drain_deadline", metavar="SEC",
+                   help="seconds the SIGTERM graceful drain waits for "
+                        "in-flight requests (default 10)")
+    p.add_argument("--soft-limit-mb", type=float, default=None,
+                   dest="soft_limit_mb", metavar="MB",
+                   help="RSS soft watermark: above it the service "
+                        "degrades (approximate stats, no ingests)")
+    p.add_argument("--hard-limit-mb", type=float, default=None,
+                   dest="hard_limit_mb", metavar="MB",
+                   help="RSS hard watermark: above it all analysis work "
+                        "sheds with 503 until memory recovers")
+    p.add_argument("--breaker-threshold", type=int, default=10,
+                   dest="breaker_threshold", metavar="N",
+                   help="consecutive failures tripping a client's "
+                        "circuit breaker (0 disables; default 10)")
+    p.add_argument("--breaker-cooldown", type=float, default=5.0,
+                   dest="breaker_cooldown", metavar="SEC",
+                   help="seconds a tripped client breaker stays open "
+                        "(default 5)")
+    _add_obs_flags(p, suppress=True)
+    p.set_defaults(fn=_cmd_serve)
+
     p = sub.add_parser("perf", help="performance watchdog: record baseline "
                                     "runs, check candidates for regressions")
     perf_sub = p.add_subparsers(dest="perf_command", required=True)
@@ -729,7 +842,7 @@ def _finish_profiler(args, profiler) -> None:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    from .errors import PersistenceError, ReproError
+    from .errors import PersistenceError, ReproError, ServeError
 
     args = build_parser().parse_args(argv)
 
@@ -753,6 +866,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         profiler = SamplingProfiler(hz=profile_hz).start()
     try:
         rc = args.fn(args)
+    except ServeError as e:
+        print(f"error [{e.stage}]: {type(e).__name__}: {e}", file=sys.stderr)
+        return EXIT_SERVE_FAILURE
     except PersistenceError as e:
         print(f"error [{e.stage}]: {type(e).__name__}: {e}", file=sys.stderr)
         return EXIT_CORRUPT_STORE

@@ -23,11 +23,16 @@ Hierarchy::
     │   └── CorruptStoreError  store exists but fails checksum / structure
     ├── QueryValidationError   a query is statically invalid for a thicket
     │                          (also ValueError)
-    └── ExecutionError         supervised parallel execution failures
-        ├── TaskTimeoutError       a task exceeded its wall-clock deadline
-        ├── WorkerCrashError       the worker process died / stopped beating
-        ├── CircuitOpenError       fast-fail while a circuit breaker is open
-        └── DeadlineExceededError  the whole run blew its wall budget
+    ├── ExecutionError         supervised parallel execution failures
+    │   ├── TaskTimeoutError       a task exceeded its wall-clock deadline
+    │   ├── WorkerCrashError       the worker process died / stopped beating
+    │   ├── CircuitOpenError       fast-fail while a circuit breaker is open
+    │   └── DeadlineExceededError  the whole run blew its wall budget
+    └── ServeError             analysis-service failures (repro serve)
+        ├── OverloadedError        admission shed a request (HTTP 429)
+        ├── NotReadyError          degraded/shedding/draining (HTTP 503)
+        ├── RequestTimeoutError    a request blew its deadline (HTTP 503)
+        └── NotFoundError          unknown dataset / route (HTTP 404)
 
 ``CompositionError`` doubles as a ``ValueError`` so that pre-existing
 callers catching ``ValueError`` around :meth:`Thicket.from_caliperreader`
@@ -53,6 +58,11 @@ __all__ = [
     "WorkerCrashError",
     "CircuitOpenError",
     "DeadlineExceededError",
+    "ServeError",
+    "OverloadedError",
+    "NotReadyError",
+    "RequestTimeoutError",
+    "NotFoundError",
 ]
 
 
@@ -199,6 +209,94 @@ class DeadlineExceededError(ExecutionError):
     """
 
     default_stage = "execute"
+
+
+class ServeError(ReproError):
+    """A request to the analysis service (``repro serve``) failed.
+
+    Every subclass carries the HTTP ``status`` the service maps it to
+    and a stable machine-readable ``code`` that clients can branch on
+    (``"overloaded"``, ``"not_ready"``, ``"deadline_exceeded"``, …) —
+    the serving layer never surfaces a bare 500 without a code.
+    """
+
+    default_stage = "serve"
+    status: int = 500
+    code: str = "internal"
+
+
+class OverloadedError(ServeError):
+    """Admission control shed this request (HTTP 429).
+
+    Raised when the token-bucket rate limiter is empty, the bounded
+    work queue / concurrency semaphore is full, or the caller's
+    per-client circuit breaker is open.  ``retry_after`` is the
+    server's estimate (seconds) of when capacity returns; it becomes
+    the ``Retry-After`` response header.  ``reason`` names the shed
+    path (``rate_limited``/``queue_full``/``concurrency``/
+    ``circuit_open``).
+    """
+
+    default_stage = "admit"
+    status = 429
+    code = "overloaded"
+
+    def __init__(self, message: str, *, retry_after: float = 1.0,
+                 reason: str = "overloaded", source: Any = None):
+        self.retry_after = float(retry_after)
+        self.reason = str(reason)
+        self.code = self.reason
+        super().__init__(message, source=source, stage="admit")
+
+
+class NotReadyError(ServeError):
+    """The service cannot take this work right now (HTTP 503).
+
+    Raised while draining for shutdown, or when the memory-pressure
+    state machine has degraded past the point where this endpoint is
+    allowed (ingest under ``degraded``, everything heavy under
+    ``shedding``).  ``reason`` carries the state that refused the
+    request.
+    """
+
+    default_stage = "serve"
+    status = 503
+    code = "not_ready"
+
+    def __init__(self, message: str, *, retry_after: float = 5.0,
+                 reason: str = "not_ready", source: Any = None):
+        self.retry_after = float(retry_after)
+        self.reason = str(reason)
+        self.code = self.reason
+        super().__init__(message, source=source, stage="serve")
+
+
+class RequestTimeoutError(ServeError):
+    """A request exceeded its per-request deadline (HTTP 503).
+
+    The supervising waiter — not the worker — enforces the deadline:
+    the request is failed fast and attributed, the abandoned worker is
+    replaced by the watchdog, and the client may retry after
+    ``retry_after`` seconds.
+    """
+
+    default_stage = "execute"
+    status = 503
+    code = "deadline_exceeded"
+
+    def __init__(self, message: str, *, retry_after: float = 1.0,
+                 source: Any = None):
+        self.retry_after = float(retry_after)
+        super().__init__(message, source=source, stage="execute")
+
+
+class NotFoundError(ServeError):
+    """The request names a dataset or route the service does not have
+    (HTTP 404)."""
+
+    default_stage = "serve"
+    status = 404
+    code = "not_found"
 
 
 class CorruptStoreError(PersistenceError):

@@ -13,6 +13,10 @@ Two rule families over one engine (:mod:`repro.lint.engine`):
   ``RPQ102``): string/object-dialect call-path queries embedded as
   literals in any linted source are compiled at lint time, so a
   malformed query fails the lint run, not the analysis run.
+* **Serving boundary** (:mod:`repro.lint.rules_serve`, ``RPR009``):
+  ``repro/serve/`` request handlers must map every exception to a
+  typed JSON error response — no bare excepts swallowing errors into
+  code-less 500s, no exceptions unwinding through the socket layer.
 
 Violations are suppressed per line with ``# repro: noqa[RULE-ID]``
 (comma-separated for several rules); a suppression that matches no
@@ -28,7 +32,8 @@ concrete thicket before execution — lives in
 :meth:`Thicket.query`.
 """
 
-from . import rules_query, rules_repo  # noqa: F401  (register built-ins)
+from . import rules_query, rules_repo, rules_serve  # noqa: F401
+# (imported for their @register side effects)
 from .engine import (
     FileContext,
     Finding,
@@ -42,10 +47,11 @@ from .engine import (
 from .reporters import format_json, format_text
 from .rules_query import QUERY_RULE_IDS
 from .rules_repo import REPO_RULE_IDS
+from .rules_serve import SERVE_RULE_IDS
 
 __all__ = [
     "Finding", "Rule", "FileContext", "LintResult",
     "run_lint", "lint_file", "register", "all_rules",
     "format_text", "format_json",
-    "REPO_RULE_IDS", "QUERY_RULE_IDS",
+    "REPO_RULE_IDS", "QUERY_RULE_IDS", "SERVE_RULE_IDS",
 ]

@@ -175,6 +175,8 @@ class Telemetry:
         self.cpu_clock = cpu_clock
         self.metrics = MetricsRegistry()
         self.epoch = 0.0
+        self.span_cap: int | None = None
+        self.dropped_spans = 0
         self._ids = itertools.count(1)
         self._local = threading.local()
         self._lock = threading.Lock()
@@ -182,17 +184,46 @@ class Telemetry:
 
     # -- lifecycle -----------------------------------------------------
     def enable(self) -> None:
-        if not self.enabled:
-            self.epoch = self.clock()
-        self.enabled = True
+        # the enable/disable flip must be safe against concurrent
+        # recorders (the analysis server flips state under sustained
+        # multi-thread load): the epoch is stamped exactly once per
+        # off→on transition, never half-written by two racing enables
+        with self._lock:
+            if not self.enabled:
+                self.epoch = self.clock()
+                self.enabled = True
 
     def disable(self) -> None:
-        self.enabled = False
+        with self._lock:
+            self.enabled = False
+
+    def set_span_cap(self, cap: int | None) -> None:
+        """Bound the retained finished-span buffer to *cap* roots.
+
+        A long-lived process (the ``repro serve`` daemon) records a
+        root span per request; without a cap the buffer grows without
+        bound.  Past the cap the oldest roots are dropped and counted
+        in :attr:`dropped_spans`.  ``None`` (the default) keeps the
+        historical keep-everything behaviour for batch runs.
+        """
+        if cap is not None and cap < 1:
+            raise ValueError(f"span_cap must be >= 1 or None, got {cap}")
+        with self._lock:
+            self.span_cap = cap
+            self._trim_locked()
+
+    def _trim_locked(self) -> None:
+        cap = self.span_cap
+        if cap is not None and len(self._finished) > cap:
+            excess = len(self._finished) - cap
+            del self._finished[:excess]
+            self.dropped_spans += excess
 
     def reset(self) -> None:
         """Drop all recorded spans and metrics (keeps enabled state)."""
         with self._lock:
             self._finished = []
+            self.dropped_spans = 0
         self._local = threading.local()
         self._ids = itertools.count(1)
         self.metrics.reset()
@@ -212,6 +243,7 @@ class Telemetry:
     def _publish(self, root: Span) -> None:
         with self._lock:
             self._finished.append(root)
+            self._trim_locked()
 
     def finished_spans(self) -> list[Span]:
         """Snapshot of completed root spans (ordered by completion)."""

@@ -22,10 +22,18 @@ machine:
 
 The clock is injectable so every transition is unit-testable without
 sleeping.
+
+All state transitions happen under one internal lock, so the breaker
+may be shared by concurrent callers (the analysis server keys it by
+client id and hits it from every handler thread): in particular,
+exactly **one** concurrent :meth:`~CircuitBreaker.allow` caller wins
+the half-open probe — the check-and-set of ``probe_in_flight`` is
+atomic, never a lost update between racing threads.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable
 
@@ -82,6 +90,7 @@ class CircuitBreaker:
         self.cooldown = cooldown
         self.clock = clock
         self.on_trip = on_trip
+        self._lock = threading.Lock()
         self._keys: dict[str, BreakerState] = {}
 
     # -- state inspection ----------------------------------------------
@@ -91,22 +100,34 @@ class CircuitBreaker:
         Reflects cooldown expiry: an ``open`` breaker whose cooldown
         has elapsed reports ``half_open``.
         """
-        ks = self._keys.get(key)
-        if ks is None:
-            return CLOSED
-        if ks.state == OPEN and \
-                self.clock() - ks.opened_at >= self.cooldown:
-            return HALF_OPEN
-        return ks.state
+        with self._lock:
+            ks = self._keys.get(key)
+            if ks is None:
+                return CLOSED
+            if ks.state == OPEN and \
+                    self.clock() - ks.opened_at >= self.cooldown:
+                return HALF_OPEN
+            return ks.state
 
     @property
     def trips(self) -> int:
         """Total number of trips (closed/half-open → open) so far."""
-        return sum(ks.trips for ks in self._keys.values())
+        with self._lock:
+            return sum(ks.trips for ks in self._keys.values())
 
     def tripped_keys(self) -> list[str]:
         """Keys whose breaker has tripped at least once, sorted."""
-        return sorted(k for k, ks in self._keys.items() if ks.trips)
+        with self._lock:
+            return sorted(k for k, ks in self._keys.items() if ks.trips)
+
+    def retry_after(self, key: str) -> float:
+        """Seconds until an open *key* would admit its half-open probe
+        (0.0 when the key is closed or already probe-eligible)."""
+        with self._lock:
+            ks = self._keys.get(key)
+            if ks is None or ks.state != OPEN:
+                return 0.0
+            return max(0.0, self.cooldown - (self.clock() - ks.opened_at))
 
     # -- the protocol ---------------------------------------------------
     def allow(self, key: str) -> bool:
@@ -119,52 +140,57 @@ class CircuitBreaker:
         """
         if self.threshold == 0:
             return True
-        ks = self._keys.get(key)
-        if ks is None or ks.state == CLOSED:
-            return True
-        now = self.clock()
-        if ks.state == OPEN:
-            if now - ks.opened_at < self.cooldown:
-                return False
-            ks.state = HALF_OPEN
-            ks.probe_in_flight = False
-        if ks.state == HALF_OPEN:
-            if ks.probe_in_flight:
-                return False
-            ks.probe_in_flight = True
-            return True
-        return True  # pragma: no cover - states are exhaustive
+        with self._lock:
+            ks = self._keys.get(key)
+            if ks is None or ks.state == CLOSED:
+                return True
+            now = self.clock()
+            if ks.state == OPEN:
+                if now - ks.opened_at < self.cooldown:
+                    return False
+                ks.state = HALF_OPEN
+                ks.probe_in_flight = False
+            if ks.state == HALF_OPEN:
+                if ks.probe_in_flight:
+                    return False
+                ks.probe_in_flight = True
+                return True
+            return True  # pragma: no cover - states are exhaustive
 
     def record_success(self, key: str) -> None:
         """Record a successful task for *key*; closes a half-open breaker."""
         if self.threshold == 0:
             return
-        ks = self._keys.get(key)
-        if ks is None:
-            return
-        ks.consecutive_failures = 0
-        ks.probe_in_flight = False
-        ks.state = CLOSED
+        with self._lock:
+            ks = self._keys.get(key)
+            if ks is None:
+                return
+            ks.consecutive_failures = 0
+            ks.probe_in_flight = False
+            ks.state = CLOSED
 
     def record_failure(self, key: str) -> bool:
         """Record a failed task for *key*; returns True when this
         failure tripped the breaker (closed/half-open → open)."""
         if self.threshold == 0:
             return False
-        ks = self._keys.setdefault(key, BreakerState())
-        ks.consecutive_failures += 1
-        was_half_open = ks.state == HALF_OPEN or (
-            ks.state == OPEN
-            and self.clock() - ks.opened_at >= self.cooldown)
-        if ks.state == CLOSED and \
-                ks.consecutive_failures < self.threshold:
-            return False
-        if ks.state == OPEN and not was_half_open:
-            return False  # already open, still cooling down
-        ks.state = OPEN
-        ks.opened_at = self.clock()
-        ks.probe_in_flight = False
-        ks.trips += 1
+        with self._lock:
+            ks = self._keys.setdefault(key, BreakerState())
+            ks.consecutive_failures += 1
+            was_half_open = ks.state == HALF_OPEN or (
+                ks.state == OPEN
+                and self.clock() - ks.opened_at >= self.cooldown)
+            if ks.state == CLOSED and \
+                    ks.consecutive_failures < self.threshold:
+                return False
+            if ks.state == OPEN and not was_half_open:
+                return False  # already open, still cooling down
+            ks.state = OPEN
+            ks.opened_at = self.clock()
+            ks.probe_in_flight = False
+            ks.trips += 1
+        # fire the callback outside the lock: it may take other locks
+        # (the metrics registry) and must not be able to deadlock us
         if self.on_trip is not None:
             self.on_trip(key)
         return True

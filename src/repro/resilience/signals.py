@@ -22,6 +22,15 @@ disk, never torn.
 Signal handlers can only be installed from the main thread; elsewhere
 the guard degrades to a no-op (the default handlers stay in place), so
 library code may use it unconditionally.
+
+Guards **nest**: library code deep in the stack may enter its own
+``SignalGuard`` while an outer one (the CLI's, the server's) is
+active.  Critical depth and the pending signal are shared across all
+installed guards, so a signal that lands inside *any* critical section
+— the outer guard's, the inner guard's, or both nested — is deferred
+until the **outermost** critical block exits, and an inner guard
+uninstalling itself hands the still-pending signal back to the outer
+guard instead of losing it.
 """
 
 from __future__ import annotations
@@ -47,14 +56,23 @@ class SignalGuard:
                     journal.append(result)      # never torn
 
     Nesting ``critical()`` blocks is allowed; the pending signal is
-    delivered when the outermost block exits.
+    delivered when the outermost block exits.  Nesting whole guards
+    (a guard entered while another is installed) is also allowed:
+    critical depth and the pending signal are shared class-level state
+    on the main thread, so an inner guard never un-defers a signal the
+    outer guard's critical section is still protecting against.
     """
+
+    # shared across nested installed guards (mutated from the main
+    # thread only: signal handlers and installation both live there)
+    _active: "list[SignalGuard]" = []
+    _shared_depth = 0
+    _shared_pending: int | None = None
 
     def __init__(self, signals=_GUARDED_SIGNALS):
         self.signals = tuple(signals)
         self._previous: dict[int, object] = {}
-        self._depth = 0
-        self._pending: int | None = None
+        self._depth = 0          # fallback depth for uninstalled guards
         self._installed = False
 
     # -- handler lifecycle ---------------------------------------------
@@ -63,6 +81,7 @@ class SignalGuard:
             for sig in self.signals:
                 self._previous[sig] = signal.signal(sig, self._on_signal)
             self._installed = True
+            SignalGuard._active.append(self)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -71,20 +90,29 @@ class SignalGuard:
                 signal.signal(sig, previous)
             self._previous.clear()
             self._installed = False
-        # a signal that arrived inside a critical block whose exit
-        # raised something else must still not be lost silently
-        if self._pending is not None and exc_type is None:
-            self._deliver()
+            if self in SignalGuard._active:
+                SignalGuard._active.remove(self)
+            if SignalGuard._active:
+                # an outer guard is still installed: leave the shared
+                # pending signal for its critical sections to deliver
+                return
+            # a signal that arrived inside a critical block whose exit
+            # raised something else must still not be lost silently
+            pending, SignalGuard._shared_pending = \
+                SignalGuard._shared_pending, None
+            SignalGuard._shared_depth = 0
+            if pending is not None and exc_type is None:
+                self._raise_for(pending)
 
     # -- the protocol ---------------------------------------------------
     @property
     def interrupted(self) -> bool:
         """True when a guarded signal arrived and is awaiting delivery."""
-        return self._pending is not None
+        return SignalGuard._shared_pending is not None
 
     def _on_signal(self, signum, frame) -> None:
-        if self._depth > 0:
-            self._pending = signum
+        if SignalGuard._shared_depth > 0:
+            SignalGuard._shared_pending = signum
             return
         self._raise_for(signum)
 
@@ -94,7 +122,8 @@ class SignalGuard:
         raise SystemExit(128 + signum)
 
     def _deliver(self) -> None:
-        signum, self._pending = self._pending, None
+        signum, SignalGuard._shared_pending = \
+            SignalGuard._shared_pending, None
         self._raise_for(signum)
 
     @contextmanager
@@ -103,12 +132,24 @@ class SignalGuard:
 
         The block body always runs to completion; a signal that
         arrived inside is re-raised (as ``KeyboardInterrupt`` /
-        ``SystemExit``) immediately after the outermost block exits.
+        ``SystemExit``) immediately after the outermost block exits —
+        counting the critical sections of *every* active guard, not
+        just this one's.
         """
-        self._depth += 1
+        if not self._installed:
+            # uninstalled guard (non-main thread): depth bookkeeping
+            # stays instance-local and delivery never happens here
+            self._depth += 1
+            try:
+                yield self
+            finally:
+                self._depth -= 1
+            return
+        SignalGuard._shared_depth += 1
         try:
             yield self
         finally:
-            self._depth -= 1
-            if self._depth == 0 and self._pending is not None:
+            SignalGuard._shared_depth -= 1
+            if SignalGuard._shared_depth == 0 \
+                    and SignalGuard._shared_pending is not None:
                 self._deliver()

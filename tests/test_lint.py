@@ -748,3 +748,118 @@ class TestLintCli:
         good.write_text("X = 1\n")
         with pytest.raises(SystemExit, match="unknown rule"):
             main(["lint", str(good), "--select", "NOPE001"])
+
+
+# ----------------------------------------------------------------------
+# Family C: serving-boundary rule (RPR009)
+# ----------------------------------------------------------------------
+
+class TestServeErrorMapping:
+    def test_unguarded_do_handler_flagged(self, tmp_path):
+        f = sole_finding(lint_source(tmp_path, """\
+            class Handler:
+                def do_GET(self):
+                    body = self.compute()
+                    self.wfile.write(body)
+            """, rel="repro/serve/http.py", select=["RPR009"]), "RPR009")
+        assert "do_GET" in f.message
+        assert f.line == 2
+
+    def test_guarded_handler_without_mapper_flagged(self, tmp_path):
+        # the try/except is there, but the handler improvises a raw
+        # 500 instead of routing through the mapping helpers
+        result = lint_source(tmp_path, """\
+            class Handler:
+                def do_POST(self):
+                    try:
+                        self.work()
+                    except Exception:
+                        self.send_response(500)
+            """, rel="repro/serve/http.py", select=["RPR009"])
+        assert {f.rule_id for f in result.findings} == {"RPR009"}
+        assert len(result.findings) == 2  # handler shape + swallow
+
+    def test_swallowing_broad_except_in_serve_flagged(self, tmp_path):
+        f = sole_finding(lint_source(tmp_path, """\
+            def evict(cache):
+                try:
+                    cache.clear()
+                except Exception:
+                    pass
+            """, rel="repro/serve/service.py", select=["RPR009"]),
+            "RPR009")
+        assert "typed JSON error" in f.message
+
+    def test_raise_from_handler_except_flagged(self, tmp_path):
+        f = sole_finding(lint_source(tmp_path, """\
+            class Handler:
+                def do_GET(self):
+                    try:
+                        self.work()
+                    except Exception as exc:
+                        self._send_json_error(exc)
+                        raise RuntimeError("escaped the socket layer")
+            """, rel="repro/serve/http.py", select=["RPR009"]), "RPR009")
+        assert "socket layer" in f.message
+
+    def test_compliant_handler_clean(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            class Handler:
+                def do_GET(self):
+                    try:
+                        status, body, headers = self.dispatch()
+                        self._send_json(status, body, headers)
+                    except Exception as exc:
+                        self._send_json_error(exc)
+            """, rel="repro/serve/http.py", select=["RPR009"])
+        assert result.findings == []
+
+    def test_reraising_broad_except_in_serve_clean(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            def admit(pool, fn):
+                try:
+                    return pool.run(fn)
+                except BaseException:
+                    pool.failure()
+                    raise
+            """, rel="repro/serve/service.py", select=["RPR009"])
+        assert result.findings == []
+
+    def test_error_payload_call_satisfies_mapper(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            def dispatch(fn):
+                try:
+                    return 200, fn(), {}
+                except BaseException as exc:
+                    return error_payload(exc)
+            """, rel="repro/serve/service.py", select=["RPR009"])
+        assert result.findings == []
+
+    def test_worker_transport_module_exempt(self, tmp_path):
+        # the pool boundary captures exceptions to transport them to
+        # the waiter, which re-raises into the mapper; allowed there
+        result = lint_source(tmp_path, """\
+            def worker_loop(item):
+                try:
+                    result, error = item.fn(), None
+                except BaseException as exc:
+                    result, error = None, exc
+                return result, error
+            """, rel="repro/serve/workers.py", select=["RPR009"])
+        assert result.findings == []
+
+    def test_rule_ignores_code_outside_serve(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            class Handler:
+                def do_GET(self):
+                    return self.compute()
+            """, rel="repro/analysis.py", select=["RPR009"])
+        assert result.findings == []
+
+    def test_suppressible_like_any_rule(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            class Handler:
+                def do_GET(self):  # repro: noqa[RPR009]
+                    return self.compute()
+            """, rel="repro/serve/http.py", select=["RPR009"])
+        assert result.findings == []

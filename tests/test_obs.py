@@ -503,3 +503,78 @@ class TestToThicket:
         rows = {t_[0].frame.name: i
                 for i, t_ in enumerate(tk.dataframe.index.values)}
         assert tk.dataframe.column("calls")[rows["ingest.profile"]] == 4.0
+
+
+class TestTelemetryThreadSafety:
+    """Satellite (PR 7): enable()/disable() must be safe to flip while
+    other threads are recording spans, and a long-lived daemon must be
+    able to bound the finished-span buffer."""
+
+    def test_enable_disable_hammer_while_recording(self):
+        """8 threads record spans while the main thread flips the
+        enabled flag; no crash, no torn state, and every span that was
+        recorded is structurally complete."""
+        t = Telemetry()
+        stop = time.monotonic() + 0.5
+        errors: list[BaseException] = []
+
+        def recorder(i):
+            try:
+                while time.monotonic() < stop:
+                    with t.span("hammer.span"):
+                        t.metrics.increment("hammer.count")
+            except BaseException as e:  # noqa: BLE001 - the assertion
+                errors.append(e)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            futures = [pool.submit(recorder, i) for i in range(8)]
+            while time.monotonic() < stop:
+                t.enable()
+                t.disable()
+            for f in futures:
+                f.result()
+        assert errors == []
+        for span in t.finished_spans():
+            assert span.name == "hammer.span"
+            assert span.end is not None
+            assert span.end >= span.start
+
+    def test_epoch_stamped_once_per_transition(self):
+        clock = FakeClock()
+        t = Telemetry(clock=clock)
+        t.enable()
+        first = t.epoch
+        t.enable()  # idempotent: re-enabling must not restamp
+        assert t.epoch == first
+        t.disable()
+        clock.tick(5.0)
+        t.enable()
+        assert t.epoch == first + 5.0
+
+    def test_span_cap_bounds_buffer_and_counts_drops(self):
+        t = Telemetry()
+        t.enable()
+        t.set_span_cap(10)
+        for _ in range(25):
+            with t.span("capped.span"):
+                pass
+        assert len(t.finished_spans()) == 10
+        assert t.dropped_spans == 15
+        t.reset()
+        assert t.dropped_spans == 0
+
+    def test_span_cap_trims_existing_backlog(self):
+        t = Telemetry()
+        t.enable()
+        for _ in range(8):
+            with t.span("backlog.span"):
+                pass
+        t.set_span_cap(3)
+        assert len(t.finished_spans()) == 3
+        assert t.dropped_spans == 5
+
+    def test_span_cap_validation(self):
+        t = Telemetry()
+        with pytest.raises(ValueError):
+            t.set_span_cap(0)
+        t.set_span_cap(None)  # None restores unbounded

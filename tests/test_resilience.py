@@ -687,3 +687,161 @@ class TestChaosAcceptance:
         assert rep2.n_resumed == report.n_loaded
         assert rep2.resumed_quarantined == n_bad
         assert tk2.to_json() == tk.to_json()
+
+
+class TestCircuitBreakerConcurrency:
+    """Satellite (PR 7): the half-open probe admission is atomic — of N
+    threads racing allow() after the cooldown, exactly one wins."""
+
+    def test_exactly_one_halfopen_probe_under_contention(self):
+        import threading
+
+        clock_value = [0.0]
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0,
+                                 clock=lambda: clock_value[0])
+        breaker.record_failure("key")          # open
+        clock_value[0] = 5.1                   # cooldown elapsed
+        assert breaker.state("key") == HALF_OPEN
+
+        n = 16
+        barrier = threading.Barrier(n)
+        admitted = []
+        lock = threading.Lock()
+
+        def racer():
+            barrier.wait()                     # maximal contention
+            if breaker.allow("key"):
+                with lock:
+                    admitted.append(threading.current_thread().name)
+
+        threads = [threading.Thread(target=racer) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert len(admitted) == 1
+
+    def test_probe_slot_reopens_after_each_outcome(self):
+        clock_value = [0.0]
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0,
+                                 clock=lambda: clock_value[0])
+        breaker.record_failure("key")
+        clock_value[0] = 5.1
+        assert breaker.allow("key")            # probe admitted
+        assert not breaker.allow("key")        # slot held
+        breaker.record_failure("key")          # probe failed → reopen
+        assert not breaker.allow("key")        # cooling down again
+        clock_value[0] = 10.3
+        assert breaker.allow("key")            # next probe
+        breaker.record_success("key")
+        assert breaker.allow("key")            # closed: everyone in
+
+    def test_concurrent_mixed_traffic_keeps_counts_consistent(self):
+        import threading
+
+        breaker = CircuitBreaker(threshold=3, cooldown=0.0)
+        keys = [f"k{i}" for i in range(4)]
+
+        def hammer(seed):
+            for i in range(200):
+                key = keys[(seed + i) % len(keys)]
+                if breaker.allow(key):
+                    if (seed + i) % 3:
+                        breaker.record_failure(key)
+                    else:
+                        breaker.record_success(key)
+
+        threads = [threading.Thread(target=hammer, args=(s,))
+                   for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert breaker.trips >= 0              # no deadlock, no torn dict
+        assert set(breaker.tripped_keys()) <= set(keys)
+
+    def test_retry_after_counts_down_with_cooldown(self):
+        clock_value = [0.0]
+        breaker = CircuitBreaker(threshold=1, cooldown=10.0,
+                                 clock=lambda: clock_value[0])
+        assert breaker.retry_after("key") == 0.0   # never seen
+        breaker.record_failure("key")
+        assert breaker.retry_after("key") == pytest.approx(10.0)
+        clock_value[0] = 4.0
+        assert breaker.retry_after("key") == pytest.approx(6.0)
+        clock_value[0] = 11.0
+        assert breaker.retry_after("key") == 0.0   # probe-eligible
+
+
+class TestSignalGuardNesting:
+    """Satellite (PR 7): a guard entered inside another guard's scope
+    (the server's guard around the CLI's, library code inside both)
+    shares critical depth — a signal in the inner guard's critical
+    section defers until the *outermost* critical exit."""
+
+    def test_guard_inside_guard_defers_to_outermost_exit(self):
+        order = []
+        with pytest.raises(KeyboardInterrupt):
+            with SignalGuard() as outer:
+                with outer.critical():
+                    with SignalGuard() as inner:
+                        with inner.critical():
+                            inner._on_signal(signal.SIGINT, None)
+                            order.append("inner critical done")
+                        # inner critical exited, but the OUTER critical
+                        # is still open: nothing may raise here
+                        order.append("inner guard exited")
+                    order.append("still inside outer critical")
+        assert order == ["inner critical done", "inner guard exited",
+                         "still inside outer critical"]
+
+    def test_signal_in_inner_guard_outside_critical_raises(self):
+        with SignalGuard():
+            with SignalGuard() as inner:
+                with pytest.raises(KeyboardInterrupt):
+                    inner._on_signal(signal.SIGINT, None)
+
+    def test_inner_guard_exit_hands_pending_back_to_outer(self):
+        delivered = []
+        with pytest.raises(SystemExit):
+            with SignalGuard() as outer:
+                with outer.critical():
+                    with SignalGuard() as inner:
+                        inner._on_signal(signal.SIGTERM, None)
+                    # inner guard fully exited while the outer critical
+                    # holds: the pending signal must survive the exit
+                    assert outer.interrupted
+                    delivered.append("outer critical still protected")
+        assert delivered == ["outer critical still protected"]
+
+    def test_interleaved_criticals_across_guards(self):
+        order = []
+        with pytest.raises(KeyboardInterrupt):
+            with SignalGuard() as outer:
+                with SignalGuard() as inner:
+                    with outer.critical():
+                        with inner.critical():
+                            outer._on_signal(signal.SIGINT, None)
+                            order.append("both held")
+                        order.append("inner released")
+                    order.append("outer released")
+                    pytest.fail("delivery must happen at depth zero")
+        assert order == ["both held", "inner released"]
+
+    def test_nested_guards_restore_handlers_in_order(self):
+        before = signal.getsignal(signal.SIGINT)
+        with SignalGuard():
+            mid = signal.getsignal(signal.SIGINT)
+            with SignalGuard():
+                pass
+            assert signal.getsignal(signal.SIGINT) == mid
+        assert signal.getsignal(signal.SIGINT) == before
+
+    def test_shared_state_clean_after_nested_exit(self):
+        with SignalGuard() as outer:
+            with SignalGuard():
+                pass
+            assert not outer.interrupted
+        assert SignalGuard._active == []
+        assert SignalGuard._shared_depth == 0
+        assert SignalGuard._shared_pending is None
