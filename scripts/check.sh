@@ -20,12 +20,37 @@ python -m pytest -x -q
 echo "== compileall (warnings are errors) =="
 python -W error -m compileall -q src
 
-echo "== static analysis (repro lint) =="
-# Hard gate: the source tree must carry zero unsuppressed findings.
-# LINT_OUT can be pointed at a CI workspace path for artifact upload.
+echo "== static analysis (repro lint, whole-program) =="
+# Hard gate: the source tree must carry zero unsuppressed findings —
+# per-file rules and the interprocedural concurrency/exception-flow
+# rules (the project pass is on by default for a directory).
+# LINT_OUT / LINT_SARIF can point at CI workspace paths for upload.
 LINT_OUT="${LINT_OUT:-$(pwd)/lint-report.json}"
-python -m repro lint src/repro --json > "$LINT_OUT" || true
+LINT_SARIF="${LINT_SARIF:-$(pwd)/lint-report.sarif}"
+python -m repro lint src/repro --json --sarif "$LINT_SARIF" \
+    > "$LINT_OUT" || true
 python -m repro lint src/repro
+# incremental-cache smoke: a warm run over the unchanged tree must be
+# all cache hits and measurably faster than a cold parse
+python - <<'PY'
+import time
+
+from repro.lint import run_lint
+
+t0 = time.perf_counter()
+cold = run_lint(["src/repro"], project=True)  # no cache: parse everything
+t1 = time.perf_counter()
+warm = run_lint(["src/repro"], project=True,
+                cache_dir=".repro-lint-cache")
+t2 = time.perf_counter()
+assert warm.ok == cold.ok
+assert warm.cache_misses == 0, f"{warm.cache_misses} misses on warm run"
+assert warm.cache_hits == warm.n_files, warm.cache_hits
+assert (t2 - t1) < (t1 - t0), (
+    f"warm lint ({t2 - t1:.2f}s) not faster than cold ({t1 - t0:.2f}s)")
+print(f"lint cache: cold {t1 - t0:.2f}s, warm {t2 - t1:.2f}s "
+      f"({warm.cache_hits} file(s) from cache)")
+PY
 
 echo "== ingestion benchmark smoke =="
 python -m pytest benchmarks/bench_ingest_faulty.py -q \

@@ -372,21 +372,49 @@ def _cmd_obs(args) -> int:
 
 def _cmd_lint(args) -> int:
     """Run the repo's static-analysis rules over source trees/files."""
-    from .lint import format_json, format_text, run_lint
+    from .lint import (
+        DEFAULT_CACHE_DIR,
+        format_json,
+        format_sarif,
+        format_text,
+        run_lint,
+    )
 
     def rule_ids(text):
         return [r.strip() for r in text.split(",") if r.strip()] \
             if text else None
 
+    project = args.project
+    if project is None:
+        # the whole-program pass needs a whole program: default on when
+        # linting a directory (the `repro lint src/repro` gate), off
+        # for single-file spot checks
+        project = any(Path(p).is_dir() for p in args.paths)
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or DEFAULT_CACHE_DIR
+    if args.write_baseline and not args.baseline:
+        raise SystemExit("lint: --write-baseline requires --baseline FILE")
     try:
         result = run_lint(args.paths, select=rule_ids(args.select),
-                          ignore=rule_ids(args.ignore))
-    except ValueError as e:  # unknown rule id in --select/--ignore
+                          ignore=rule_ids(args.ignore),
+                          project=project, cache_dir=cache_dir,
+                          baseline=args.baseline,
+                          write_baseline=args.write_baseline)
+    except ValueError as e:  # unknown rule id / corrupt baseline
         raise SystemExit(f"lint: {e}") from e
+    if args.sarif:
+        from .ioutil import atomic_write_text
+
+        atomic_write_text(args.sarif, format_sarif(result) + "\n")
     if args.json:
         print(format_json(result))
     else:
         print(format_text(result))
+    if args.write_baseline:
+        print(f"baseline recorded to {args.baseline} "
+              f"({len(result.findings)} finding(s))", file=sys.stderr)
+        return EXIT_OK
     return EXIT_OK if result.ok else EXIT_LINT_FINDINGS
 
 
@@ -638,7 +666,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("lint",
                        help="run the repo's AST static-analysis rules "
-                            "(hardening invariants + query literals)")
+                            "(hardening invariants, query literals, and "
+                            "whole-program concurrency/exception flow)")
     p.add_argument("paths", nargs="+", metavar="PATH",
                    help="Python files or directories to lint")
     p.add_argument("--select", metavar="RULES", default=None,
@@ -647,6 +676,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated rule ids to skip")
     p.add_argument("--json", action="store_true",
                    help="machine-readable findings report")
+    p.add_argument("--sarif", metavar="PATH", default=None,
+                   help="also write a SARIF 2.1.0 report to PATH "
+                        "(GitHub code-scanning annotations)")
+    p.add_argument("--project", dest="project", action="store_true",
+                   default=None,
+                   help="run the whole-program pass (call-graph "
+                        "concurrency + exception-flow rules); default "
+                        "on when linting a directory")
+    p.add_argument("--no-project", dest="project", action="store_false",
+                   help="skip the whole-program pass")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the incremental lint cache")
+    p.add_argument("--cache-dir", metavar="DIR", default=None,
+                   help="incremental cache location (default "
+                        ".repro-lint-cache/)")
+    p.add_argument("--baseline", metavar="FILE", default=None,
+                   help="suppress exactly the findings recorded in FILE; "
+                        "entries that no longer fire are reported RPR000")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="record the current findings into --baseline "
+                        "FILE and exit 0")
     _add_obs_flags(p, suppress=True)
     p.set_defaults(fn=_cmd_lint)
 

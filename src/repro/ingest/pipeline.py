@@ -553,9 +553,9 @@ def load_ensemble(sources: Iterable[Any] | Any,
     from ..core.thicket import Thicket
 
     if on_error not in ERROR_POLICIES:
-        # API-argument validation, not a profile failure: the caller
-        # passed a bad policy name, so ValueError is the right contract
-        raise ValueError(  # repro: noqa[RPR002]
+        # CompositionError subclasses ValueError, so the historical
+        # bad-argument contract holds while staying a typed ReproError
+        raise CompositionError(
             f"on_error must be one of {ERROR_POLICIES}, got {on_error!r}")
     if sleep is None:
         sleep = time.sleep

@@ -1,0 +1,96 @@
+"""Baseline files: graduated adoption of new lint rules without rot.
+
+Turning on an interprocedural rule family over a mature tree can
+surface dozens of pre-existing findings; fixing them all before the
+rule lands would block the rule, and suppressing them inline would
+scatter permanent noqa noise.  A baseline file resolves the tension:
+
+* ``repro lint --baseline FILE --write-baseline`` records the current
+  findings (one entry per ``path:line:rule``);
+* later runs with ``--baseline FILE`` suppress *exactly* those
+  findings — anything new still fails the build;
+* a baseline entry that no longer fires is reported as ``RPR000``
+  (the same philosophy as stale noqa suppressions): fixed debt must
+  leave the baseline immediately, so the file only ever shrinks.
+
+Baselines are written with :func:`repro.ioutil.atomic_write_text` and
+deterministic key order, so they diff cleanly under version control.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..ioutil import atomic_write_text
+from .engine import RULE_UNUSED_SUPPRESSION, Finding
+
+__all__ = ["write_baseline", "load_baseline", "apply_baseline",
+           "BASELINE_SCHEMA_VERSION"]
+
+BASELINE_SCHEMA_VERSION = 1
+
+
+def _key(path: str, rule: str, line: int) -> tuple[str, str, int]:
+    return (path, rule, int(line))
+
+
+def write_baseline(findings: list[Finding], path: str | Path) -> int:
+    """Record *findings* into the baseline at *path*; returns the
+    number of entries written."""
+    entries = sorted(
+        {_key(f.path, f.rule_id, f.line) for f in findings})
+    doc = {
+        "schema": BASELINE_SCHEMA_VERSION,
+        "entries": [{"path": p, "rule": r, "line": n}
+                    for p, r, n in entries],
+    }
+    atomic_write_text(Path(path), json.dumps(doc, indent=2,
+                                             sort_keys=True) + "\n")
+    return len(entries)
+
+
+def load_baseline(path: str | Path) -> list[dict[str, Any]]:
+    """Entries of the baseline at *path*.
+
+    Raises ``ValueError`` on a structurally invalid baseline — a
+    corrupt baseline silently suppressing nothing (or everything) is
+    worse than a failed run.
+    """
+    try:
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(doc, dict) \
+            or doc.get("schema") != BASELINE_SCHEMA_VERSION \
+            or not isinstance(doc.get("entries"), list):
+        raise ValueError(f"baseline {path} has an unrecognized shape")
+    for entry in doc["entries"]:
+        if not isinstance(entry, dict) or not {
+                "path", "rule", "line"} <= set(entry):
+            raise ValueError(f"baseline {path} has a malformed entry")
+    return doc["entries"]
+
+
+def apply_baseline(findings: list[Finding],
+                   entries: list[dict[str, Any]],
+                   ) -> tuple[list[Finding], list[Finding]]:
+    """Split *findings* against the baseline.
+
+    Returns ``(kept, stale)``: *kept* is the findings not covered by
+    any baseline entry, and *stale* is one ``RPR000`` finding per
+    baseline entry that matched nothing — debt recorded as paid must
+    be deleted from the baseline.
+    """
+    baselined = {_key(e["path"], e["rule"], e["line"]) for e in entries}
+    kept = [f for f in findings
+            if _key(f.path, f.rule_id, f.line) not in baselined]
+    fired = {_key(f.path, f.rule_id, f.line) for f in findings}
+    stale = [
+        Finding(RULE_UNUSED_SUPPRESSION, p, n, 0, "warning",
+                f"stale baseline entry: {r} no longer fires at "
+                f"{p}:{n}; remove it from the baseline")
+        for p, r, n in sorted(baselined - fired)
+    ]
+    return kept, stale

@@ -1,0 +1,119 @@
+"""Incremental lint cache: per-file findings + summaries by content hash.
+
+A lint run over ``src/repro`` re-parses ~70 files even though a typical
+edit touches one.  The cache persists, per source file, everything the
+engine derives from its AST — the raw (pre-suppression) findings, the
+``noqa`` map, and the :class:`~repro.lint.project.ModuleSummary` the
+whole-program pass consumes — keyed by the file's content sha256 and a
+ruleset signature.  A warm run therefore re-parses nothing: per-file
+findings come straight from the cache and the project pass rebuilds its
+call graph from cached summaries.
+
+Robustness contract:
+
+* entries are written with :func:`repro.ioutil.atomic_write_text`, so
+  a crash mid-store leaves the previous entry, never a torn one;
+* *any* defect in a cached entry — unreadable file, invalid JSON,
+  missing key, schema or signature mismatch, stale content hash — is
+  treated as a miss and the file is re-parsed; cache corruption can
+  cost time, never correctness, and never a crash;
+* the signature folds in the selected rule ids, the engine cache
+  schema, the summary schema, and the Python version, so changing any
+  of them invalidates every entry at once.
+
+Entry files are named by the sha256 of the *source path*, so an edited
+file overwrites its own entry instead of accumulating garbage.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..ioutil import atomic_write_text, sha256_of
+from .project import SUMMARY_SCHEMA_VERSION
+
+__all__ = ["LintCache", "DEFAULT_CACHE_DIR", "ruleset_signature",
+           "CACHE_SCHEMA_VERSION"]
+
+CACHE_SCHEMA_VERSION = 1
+
+#: default location, relative to the current working directory (the
+#: CLI passes this; library callers opt in explicitly)
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+
+def ruleset_signature(rule_ids: list[str]) -> str:
+    """Signature of everything that can change a cached result."""
+    import sys
+
+    parts = [
+        f"cache={CACHE_SCHEMA_VERSION}",
+        f"summary={SUMMARY_SCHEMA_VERSION}",
+        f"py={sys.version_info.major}.{sys.version_info.minor}",
+        "rules=" + ",".join(sorted(rule_ids)),
+    ]
+    return sha256_of(";".join(parts))
+
+
+class LintCache:
+    """Content-addressed store of per-file lint results."""
+
+    def __init__(self, root: str | Path, signature: str):
+        self.root = Path(root)
+        self.signature = signature
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, source: Path) -> Path:
+        key = sha256_of(str(source.resolve())).split(":", 1)[1]
+        return self.root / f"{key}.json"
+
+    def load(self, source: Path, text: str) -> dict[str, Any] | None:
+        """The cached entry for *source* with content *text*, or None.
+
+        Never raises: a corrupt or stale entry is simply a miss.
+        """
+        try:
+            raw = self._entry_path(source).read_text(encoding="utf-8")
+            entry = json.loads(raw)
+            if entry["schema"] != CACHE_SCHEMA_VERSION \
+                    or entry["sig"] != self.signature \
+                    or entry["content_sha"] != sha256_of(text):
+                raise ValueError("stale cache entry")
+            findings = entry["findings"]
+            noqa = {int(line): set(ids)
+                    for line, ids in entry["noqa"].items()}
+            summary = entry["summary"]
+            if not isinstance(findings, list) or not isinstance(
+                    summary, (dict, type(None))):
+                raise ValueError("malformed cache entry")
+        except (OSError, ValueError, KeyError, TypeError,
+                AttributeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return {"findings": findings, "noqa": noqa, "summary": summary}
+
+    def store(self, source: Path, text: str,
+              findings: list[dict[str, Any]],
+              noqa: dict[int, set[str]],
+              summary: dict[str, Any] | None) -> None:
+        """Persist the result for *source*; best-effort (an unwritable
+        cache directory degrades to cold runs, it does not fail lint)."""
+        entry = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "sig": self.signature,
+            "content_sha": sha256_of(text),
+            "path": str(source),
+            "findings": findings,
+            "noqa": {str(line): sorted(ids)
+                     for line, ids in noqa.items()},
+            "summary": summary,
+        }
+        try:
+            atomic_write_text(self._entry_path(source),
+                              json.dumps(entry, sort_keys=True))
+        except OSError:  # pragma: no cover - unwritable cache dir
+            pass

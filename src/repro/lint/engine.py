@@ -199,22 +199,30 @@ def _build_dispatch(rules: Sequence[Rule]) -> dict[str, list]:
     return dispatch
 
 
-def lint_file(path: str | Path,
-              rule_classes: Sequence[type[Rule]]) -> list[Finding]:
-    """Lint one file; returns post-suppression findings (including
-    ``RPR000`` for suppressions that matched nothing)."""
-    path = Path(path)
-    try:
-        text = path.read_text(encoding="utf-8")
-    except OSError as exc:
-        return [Finding(RULE_SYNTAX_ERROR, str(path), 1, 0, "error",
-                        f"cannot read file: {exc}")]
+def _analyze_file(path: Path, text: str | None,
+                  rule_classes: Sequence[type[Rule]],
+                  ) -> tuple[list[Finding], dict[int, set[str]],
+                             ast.AST | None]:
+    """Parse *path* and run the per-file rules.
+
+    Returns ``(raw findings, noqa map, tree)`` — *raw* meaning
+    pre-suppression, so the caller can merge project-pass findings
+    before deciding which suppressions were actually used.  Unreadable
+    or unparseable files yield a single ``RPR999`` finding and a None
+    tree.
+    """
+    if text is None:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            return ([Finding(RULE_SYNTAX_ERROR, str(path), 1, 0, "error",
+                             f"cannot read file: {exc}")], {}, None)
     try:
         tree = ast.parse(text, filename=str(path))
     except SyntaxError as exc:
-        return [Finding(RULE_SYNTAX_ERROR, str(path), exc.lineno or 1,
-                        (exc.offset or 1) - 1, "error",
-                        f"syntax error: {exc.msg}")]
+        return ([Finding(RULE_SYNTAX_ERROR, str(path), exc.lineno or 1,
+                         (exc.offset or 1) - 1, "error",
+                         f"syntax error: {exc.msg}")], {}, None)
 
     rules = [cls() for cls in rule_classes]
     ctx = FileContext(path, text, tree)
@@ -228,11 +236,18 @@ def lint_file(path: str | Path,
     for rule in rules:
         rule.end_file(ctx)
 
-    noqa = _parse_noqa(text)
-    active_ids = {r.rule_id for r in rules}
+    return ctx.findings, _parse_noqa(text), tree
+
+
+def _apply_suppressions(findings: Iterable[Finding],
+                        noqa: dict[int, set[str]],
+                        active_ids: set[str],
+                        path: str) -> list[Finding]:
+    """Drop findings silenced by ``# repro: noqa[...]`` comments and
+    report stale suppressions (``RPR000``) for the rest."""
     used: dict[int, set[str]] = {}
     kept: list[Finding] = []
-    for f in ctx.findings:
+    for f in findings:
         ids = noqa.get(f.line)
         if ids and f.rule_id in ids:
             used.setdefault(f.line, set()).add(f.rule_id)
@@ -245,12 +260,23 @@ def lint_file(path: str | Path,
             # a suppression for a deselected rule is not stale
             if rule_id in active_ids:
                 kept.append(Finding(
-                    RULE_UNUSED_SUPPRESSION, str(path), line, 0,
+                    RULE_UNUSED_SUPPRESSION, path, line, 0,
                     unused_rule.severity,
                     f"unused suppression: {rule_id} reports nothing on "
                     f"this line; remove the noqa"))
     kept.sort(key=lambda f: f.sort_key)
     return kept
+
+
+def lint_file(path: str | Path,
+              rule_classes: Sequence[type[Rule]]) -> list[Finding]:
+    """Lint one file; returns post-suppression findings (including
+    ``RPR000`` for suppressions that matched nothing)."""
+    path = Path(path)
+    raw, noqa, _tree = _analyze_file(path, None, rule_classes)
+    return _apply_suppressions(raw, noqa,
+                               {cls.rule_id for cls in rule_classes},
+                               str(path))
 
 
 class _UnusedSuppression(Rule):
@@ -266,10 +292,14 @@ class LintResult:
     """Outcome of one lint run."""
 
     def __init__(self, findings: list[Finding], n_files: int,
-                 rules: Sequence[str]):
+                 rules: Sequence[str], project: bool = False,
+                 cache_hits: int = 0, cache_misses: int = 0):
         self.findings = findings
         self.n_files = n_files
         self.rules = list(rules)
+        self.project = project
+        self.cache_hits = cache_hits
+        self.cache_misses = cache_misses
 
     @property
     def ok(self) -> bool:
@@ -288,6 +318,9 @@ class LintResult:
             "findings": [f.to_dict() for f in self.findings],
             "counts": self.counts_by_rule(),
             "ok": self.ok,
+            "project": self.project,
+            "cache": {"hits": self.cache_hits,
+                      "misses": self.cache_misses},
         }
 
 
@@ -311,48 +344,149 @@ def _discover(paths: Sequence[str | Path]) -> list[Path]:
 
 
 def _select_rules(select: Iterable[str] | None,
-                  ignore: Iterable[str] | None) -> list[type[Rule]]:
+                  ignore: Iterable[str] | None,
+                  ) -> tuple[list[type[Rule]], list]:
+    """Resolve ``select``/``ignore`` against both registries; returns
+    ``(per-file rule classes, project rule classes)``."""
+    from .project import all_project_rules
+
     registry = all_rules()
-    chosen = set(registry)
+    project_registry = all_project_rules()
+    known = set(registry) | set(project_registry)
+    chosen = set(known)
     if select:
         wanted = set(select)
-        unknown = wanted - set(registry)
+        unknown = wanted - known
         if unknown:
             raise ValueError(f"unknown rule id(s): {sorted(unknown)}")
         chosen = wanted
     if ignore:
-        unknown = set(ignore) - set(registry)
+        unknown = set(ignore) - known
         if unknown:
             raise ValueError(f"unknown rule id(s): {sorted(unknown)}")
         chosen -= set(ignore)
-    return [registry[rid] for rid in sorted(chosen)]
+    return ([registry[rid] for rid in sorted(chosen & set(registry))],
+            [project_registry[rid]
+             for rid in sorted(chosen & set(project_registry))])
 
 
 def run_lint(paths: Sequence[str | Path],
              select: Iterable[str] | None = None,
-             ignore: Iterable[str] | None = None) -> LintResult:
+             ignore: Iterable[str] | None = None,
+             project: bool = False,
+             cache_dir: str | Path | None = None,
+             baseline: str | Path | None = None,
+             write_baseline: bool = False) -> LintResult:
     """Lint *paths* (files and/or directories) with the registered rules.
 
     ``select`` limits the run to the given rule ids; ``ignore`` drops
-    rules from whatever was selected.  The run itself is traced: an
-    ``obs`` span (``lint.run``) plus ``lint.files`` / ``lint.findings``
-    counters, so lint time shows up in ``repro obs`` like any other
-    pipeline stage.
+    rules from whatever was selected.  With ``project=True`` the
+    whole-program pass runs as well: module summaries are stitched into
+    a symbol table + call graph (:mod:`repro.lint.project`) and the
+    interprocedural rules (``RPC2xx``, ``RPR010``) report through the
+    same suppression machinery as per-file rules.
+
+    ``cache_dir`` enables the incremental cache (per-file findings and
+    summaries keyed by content sha256 + ruleset signature; corrupt
+    entries fall back to a re-parse).  ``baseline`` applies a recorded
+    baseline file — its findings are suppressed, and entries that no
+    longer fire are reported as ``RPR000`` — while ``write_baseline``
+    records the current findings into it instead.
+
+    The run itself is traced: an ``obs`` span (``lint.run``) plus
+    ``lint.files`` / ``lint.findings`` / ``lint.cache.*`` counters, so
+    lint time shows up in ``repro obs`` like any other pipeline stage.
     """
     # ensure the built-in rule families are registered even when the
     # caller imported repro.lint.engine directly
-    from . import rules_query, rules_repo  # noqa: F401
+    from . import excflow, rules_concurrency  # noqa: F401
+    from . import rules_query, rules_repo, rules_serve  # noqa: F401
+    from .project import ModuleSummary, ProjectIndex, extract_summary
 
-    rule_classes = _select_rules(select, ignore)
+    file_rules, project_rules = _select_rules(select, ignore)
+    if not project:
+        project_rules = []
     files = _discover(paths)
+
+    cache = None
+    if cache_dir is not None:
+        from .cache import LintCache, ruleset_signature
+
+        cache = LintCache(cache_dir, ruleset_signature(
+            [cls.rule_id for cls in file_rules]
+            + [cls.rule_id for cls in project_rules]))
+
+    active_ids = {cls.rule_id for cls in file_rules} \
+        | {cls.rule_id for cls in project_rules}
     findings: list[Finding] = []
     with obs_span("lint.run", files=len(files),
-                  rules=len(rule_classes)) as s:
-        for f in files:
-            findings.extend(lint_file(f, rule_classes))
+                  rules=len(file_rules) + len(project_rules)) as s:
+        per_file: dict[str, tuple[list[Finding], dict[int, set[str]]]] = {}
+        summaries: list[ModuleSummary] = []
+        for path in files:
+            path = Path(path)
+            try:
+                text = path.read_text(encoding="utf-8")
+            except OSError as exc:
+                per_file[str(path)] = ([Finding(
+                    RULE_SYNTAX_ERROR, str(path), 1, 0, "error",
+                    f"cannot read file: {exc}")], {})
+                continue
+            entry = cache.load(path, text) if cache else None
+            if entry is not None:
+                raw = [Finding(d["rule"], d["path"], d["line"], d["col"],
+                               d["severity"], d["message"])
+                       for d in entry["findings"]]
+                noqa = entry["noqa"]
+                if entry["summary"] is not None:
+                    summaries.append(
+                        ModuleSummary.from_dict(entry["summary"]))
+            else:
+                raw, noqa, tree = _analyze_file(path, text, file_rules)
+                summary = extract_summary(path, tree) \
+                    if tree is not None else None
+                if summary is not None:
+                    summaries.append(summary)
+                if cache:
+                    cache.store(path, text,
+                                [f.to_dict() for f in raw], noqa,
+                                summary.to_dict() if summary else None)
+            per_file[str(path)] = (raw, noqa)
+
+        if project_rules:
+            with obs_span("lint.project", modules=len(summaries)):
+                index = ProjectIndex(summaries)
+                for cls in project_rules:
+                    for f in cls().check(index):
+                        if f.path in per_file:
+                            per_file[f.path][0].append(f)
+
+        for path_str, (raw, noqa) in per_file.items():
+            findings.extend(_apply_suppressions(raw, noqa, active_ids,
+                                                path_str))
+
+        if baseline is not None and not write_baseline:
+            from .baseline import apply_baseline, load_baseline
+
+            kept, stale = apply_baseline(findings,
+                                         load_baseline(baseline))
+            findings = kept + stale
         findings.sort(key=lambda f: f.sort_key)
+        if baseline is not None and write_baseline:
+            from .baseline import write_baseline as record_baseline
+
+            record_baseline(findings, baseline)
+
         s.set("findings", len(findings))
         obs_counter("lint.files", len(files))
         obs_counter("lint.findings", len(findings))
-    return LintResult(findings, len(files),
-                      [cls.rule_id for cls in rule_classes])
+        if cache:
+            obs_counter("lint.cache.hits", cache.hits)
+            obs_counter("lint.cache.misses", cache.misses)
+    return LintResult(
+        findings, len(files),
+        [cls.rule_id for cls in file_rules]
+        + [cls.rule_id for cls in project_rules],
+        project=bool(project_rules),
+        cache_hits=cache.hits if cache else 0,
+        cache_misses=cache.misses if cache else 0)

@@ -1,18 +1,26 @@
-"""Rendering of lint results: terminal text and machine-readable JSON.
+"""Rendering of lint results: text, JSON, and SARIF 2.1.0.
 
 The text format is the familiar ``path:line:col: RULE severity:
 message`` shape editors and CI log scrapers already understand; the
 JSON format is the ``--json`` payload ``scripts/check.sh`` uploads as
-a CI artifact.
+a CI artifact; the SARIF format (``--sarif PATH``) is the
+[SARIF 2.1.0](https://docs.oasis-open.org/sarif/sarif/v2.1.0/)
+interchange shape GitHub code scanning ingests, so lint findings
+surface as inline annotations on pull requests.
 """
 
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
-from .engine import LintResult
+from .engine import LintResult, all_rules
 
-__all__ = ["format_text", "format_json"]
+__all__ = ["format_text", "format_json", "format_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
 
 
 def format_text(result: LintResult) -> str:
@@ -36,3 +44,67 @@ def format_text(result: LintResult) -> str:
 def format_json(result: LintResult) -> str:
     """Machine-readable report (deterministic key order)."""
     return json.dumps(result.to_dict(), indent=2, sort_keys=True)
+
+
+def _rule_metadata() -> dict[str, tuple[str, str, str]]:
+    """id → (description, rationale, severity) over both registries."""
+    from .project import all_project_rules
+
+    out: dict[str, tuple[str, str, str]] = {}
+    for rid, cls in {**all_rules(), **all_project_rules()}.items():
+        out[rid] = (cls.description, cls.rationale, cls.severity)
+    return out
+
+
+def _artifact_uri(path: str) -> str:
+    """Forward-slash, preferably repo-relative URI for SARIF locations."""
+    p = Path(path)
+    try:
+        p = p.resolve().relative_to(Path.cwd())
+    except ValueError:
+        pass
+    return p.as_posix()
+
+
+def format_sarif(result: LintResult) -> str:
+    """The run as a SARIF 2.1.0 log (deterministic key order)."""
+    meta = _rule_metadata()
+    rules = []
+    for rid in sorted(set(result.rules)
+                      | {f.rule_id for f in result.findings}):
+        desc, rationale, severity = meta.get(rid, (rid, "", "error"))
+        rules.append({
+            "id": rid,
+            "shortDescription": {"text": desc or rid},
+            "fullDescription": {"text": rationale or desc or rid},
+            "defaultConfiguration": {
+                "level": "error" if severity == "error" else "warning"},
+        })
+    results = []
+    for f in result.findings:
+        results.append({
+            "ruleId": f.rule_id,
+            "level": "error" if f.severity == "error" else "warning",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": _artifact_uri(f.path)},
+                    "region": {"startLine": f.line,
+                               "startColumn": f.col + 1},
+                },
+            }],
+        })
+    doc = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-lint",
+                "informationUri":
+                    "https://github.com/llnl/thicket",
+                "rules": rules,
+            }},
+            "results": results,
+        }],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

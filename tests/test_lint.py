@@ -670,8 +670,11 @@ class TestEngine:
                 path.write_text(text)
             """)
         doc = json.loads(format_json(result))
-        assert set(doc) == {"files", "rules", "findings", "counts", "ok"}
+        assert set(doc) == {"files", "rules", "findings", "counts", "ok",
+                            "project", "cache"}
         assert doc["files"] == 1 and doc["ok"] is False
+        assert doc["project"] is False
+        assert set(doc["cache"]) == {"hits", "misses"}
         (finding,) = doc["findings"]
         assert set(finding) == {"rule", "path", "line", "col",
                                 "severity", "message"}
