@@ -3,8 +3,10 @@
 # static analysis, smoke runs of the fault-tolerant ingestion
 # benchmark and observability stack, durable-store recovery, a
 # supervised-parallel chaos smoke (hang + worker crash), the perf
-# sentinel, and a serve lifecycle smoke (admission, shedding, drain,
-# kill -9 recovery).
+# sentinel, a serve lifecycle smoke (admission, shedding, drain,
+# kill -9 recovery), and a client-chaos smoke (repro remote against a
+# fault-injecting server: exactly-once ingest under retries, hedged
+# tail latency).
 #
 # Usage: scripts/check.sh  (from anywhere; cd's to the repo root)
 
@@ -347,37 +349,55 @@ import threading
 
 port = int(sys.argv[1])
 
-def request(method, path, body=None, timeout=10.0):
+def request(method, path, body=None, timeout=10.0, client=None):
     conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
     try:
         payload = json.dumps(body) if body is not None else None
-        conn.request(method, path, body=payload,
-                     headers={"Content-Type": "application/json"})
+        headers = {"Content-Type": "application/json"}
+        if client is not None:
+            headers["X-Client-Id"] = client
+        conn.request(method, path, body=payload, headers=headers)
         resp = conn.getresponse()
         return resp.status, json.loads(resp.read()), dict(resp.getheaders())
     finally:
         conn.close()
 
-# wedge both workers plus the 1-slot queue with injected hangs
+# wedge both workers plus the 1-slot queue with a sustained stream of
+# injected hangs (expired queue items are discarded, not executed, so
+# a one-shot volley of three would let the wedge lapse after one
+# request timeout; distinct client ids keep the hammer's failures from
+# tripping the probe client's breaker)
 hang = {"name": "wedge", "overwrite": True, "profiles": [
     {"__repro_fault__": {"mode": "hang", "seconds": 3.0}, "payload": {}}]}
-hangers = [threading.Thread(
-    target=lambda: request("POST", "/v1/ingest", hang)) for _ in range(3)]
+stop = threading.Event()
+
+def hammer(n):
+    while not stop.is_set():
+        try:
+            request("POST", "/v1/ingest", hang, client=f"wedge-{n}")
+        except OSError:
+            pass
+
+hangers = [threading.Thread(target=hammer, args=(n,), daemon=True)
+           for n in range(4)]
 for t in hangers:
     t.start()
 shed = None
-for _ in range(100):
-    status, body, headers = request("POST", "/v1/query", {
-        "dataset": "demo", "query": 'MATCH (".", p)'})
-    if status == 429:
-        shed = status, body, headers
-        break
-assert shed is not None, "queue never saturated into a 429"
+try:
+    for _ in range(100):
+        status, body, headers = request("POST", "/v1/query", {
+            "dataset": "demo", "query": 'MATCH (".", p)'},
+            client="probe")
+        if status == 429 and body["error"]["code"] == "queue_full":
+            shed = status, body, headers
+            break
+finally:
+    stop.set()
+assert shed is not None, "queue never saturated into a 429 queue_full"
 status, body, headers = shed
-assert body["error"]["code"] == "queue_full", body
 assert "Retry-After" in headers, headers
 for t in hangers:
-    t.join()
+    t.join(timeout=15.0)
 print(f"serve smoke: saturated queue shed with 429 "
       f"(Retry-After: {headers['Retry-After']})")
 PY
@@ -405,5 +425,128 @@ print("serve smoke: post-kill-9 restart validates and serves")
 PY
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
+
+echo "== client-chaos smoke (repro remote vs fault injection) =="
+# Run the resilient CLI client against a FlakyServer injecting dropped
+# connections, 500s, and duplicate deliveries at 30%, and require:
+# `repro remote ingest` retried to success (exit 0) with *exactly one*
+# server-side execution (store profile count exact), query/health
+# succeeding through the same fault mix, and the client's own trace
+# written.  Then a same-seed slow-replica pair must show hedged reads
+# beating un-hedged reads at p99.
+# CLIENT_TRACE_OUT can point at a CI workspace path for upload.
+CLIENT_TRACE_OUT="${CLIENT_TRACE_OUT:-$(pwd)/client-trace.json}"
+CLIENT_DIR=$(mktemp -d)
+trap 'rm -rf "$OBS_CAMPAIGN" "$STORE_DIR" "$CHAOS_DIR" "$PERF_DIR" \
+    "$SERVE_DIR" "$CLIENT_DIR"' EXIT
+python - "$CLIENT_DIR/stores" 31 0.3 \
+    drop_connection,http_500,duplicate_delivery \
+    2> "$CLIENT_DIR/flaky.log" <<'PY' &
+import signal
+import sys
+import threading
+
+from repro.serve import AdmissionController, AnalysisService, WorkerPool
+from repro.workloads import FlakyServer
+
+store, seed, rate, modes = sys.argv[1:5]
+service = AnalysisService(
+    store,
+    pool=WorkerPool(workers=4, queue_limit=32, task_timeout=10.0),
+    admission=AdmissionController(max_inflight=64),
+    request_timeout=10.0)
+flaky = FlakyServer(service, fault_rate=float(rate),
+                    modes=tuple(modes.split(",")), seed=int(seed))
+flaky.start()
+print(f"flaky server listening on {flaky.url}", file=sys.stderr,
+      flush=True)
+stop = threading.Event()
+signal.signal(signal.SIGTERM, lambda *_: stop.set())
+stop.wait()
+print(f"flaky server injected: {flaky.to_dict()}", file=sys.stderr,
+      flush=True)
+flaky.close()
+PY
+FLAKY_PID=$!
+FLAKY_PORT=$(serve_port "$CLIENT_DIR/flaky.log")
+FLAKY_URL="http://127.0.0.1:$FLAKY_PORT"
+REMOTE=(--url "$FLAKY_URL" --timeout 60 --attempt-timeout 10 \
+    --max-attempts 8 --retry-budget 16)
+python -m repro --trace "$CLIENT_TRACE_OUT" remote ingest \
+    "${REMOTE[@]}" --dataset chaos "$OBS_CAMPAIGN"/*.json >/dev/null
+python -m repro remote query "${REMOTE[@]}" --dataset chaos \
+    --query 'MATCH (".", p) WHERE p."name" = "Stream_DOT"' >/dev/null
+python -m repro remote health "${REMOTE[@]}" >/dev/null
+kill -TERM "$FLAKY_PID"
+wait "$FLAKY_PID" || true
+if [ ! -s "$CLIENT_TRACE_OUT" ]; then
+    echo "FAIL: no client trace written to $CLIENT_TRACE_OUT" >&2
+    exit 1
+fi
+python - "$CLIENT_DIR/stores/chaos.json" "$OBS_CAMPAIGN" <<'PY'
+import sys
+from pathlib import Path
+
+from repro import Thicket
+
+tk = Thicket.load(sys.argv[1])
+expected = len(list(Path(sys.argv[2]).glob("*.json")))
+assert len(tk.profile) == expected, (
+    f"exactly-once violated: {len(tk.profile)} profiles in store, "
+    f"{expected} ingested")
+print(f"client-chaos smoke: ingest through 30% faults exactly once "
+      f"({expected} profiles, store exact), query + health ok")
+PY
+python <<'PY'
+# hedged vs un-hedged tail latency on a same-seed slow replica: 30% of
+# responses stall 0.5 s mid-body; the hedged client fires a backup leg
+# after 50 ms and must win the tail.
+import tempfile
+import time
+
+from repro.client import ClientPolicy, ReproClient
+from repro.serve import AdmissionController, AnalysisService, WorkerPool
+from repro.workloads import FlakyServer
+
+
+def p99(samples):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+
+
+def measure(hedge):
+    with tempfile.TemporaryDirectory() as store:
+        service = AnalysisService(
+            store,
+            pool=WorkerPool(workers=4, queue_limit=32, task_timeout=10.0),
+            admission=AdmissionController(max_inflight=64),
+            request_timeout=10.0)
+        policy = ClientPolicy(hedge=hedge, hedge_delay=0.05,
+                              attempt_timeout=5.0, backoff=0.01,
+                              backoff_jitter=0.0,
+                              retry_budget_capacity=64.0)
+        flaky = FlakyServer(service, modes=("slow_body",),
+                            fault_rate=0.3, seed=3, slow_delay=0.5)
+        latencies = []
+        with flaky:
+            with ReproClient(flaky.url, policy=policy) as client:
+                for _ in range(30):
+                    start = time.perf_counter()
+                    client.request("GET", "/v1/datasets")
+                    latencies.append(time.perf_counter() - start)
+                return latencies, client.hedges, client.hedge_wins
+
+
+unhedged, _, _ = measure(False)
+hedged, hedges, wins = measure(True)
+slow, fast = p99(unhedged), p99(hedged)
+assert hedges > 0 and wins > 0, (hedges, wins)
+assert fast < slow, (
+    f"hedging did not beat the tail: hedged p99 {fast:.3f}s vs "
+    f"un-hedged p99 {slow:.3f}s")
+print(f"client-chaos smoke: hedged p99 {fast * 1000:.0f}ms < "
+      f"un-hedged p99 {slow * 1000:.0f}ms "
+      f"({hedges} hedges, {wins} wins)")
+PY
 
 echo "== all checks passed =="

@@ -335,6 +335,56 @@ def _cmd_serve(args) -> int:
     return server.run_until_signal()
 
 
+def _cmd_remote(args) -> int:
+    """Talk to a ``repro serve`` endpoint through the resilient client."""
+    import json as json_mod
+
+    from .client import ClientPolicy, ReproClient
+
+    policy = ClientPolicy(
+        attempt_timeout=args.attempt_timeout,
+        call_timeout=args.timeout,
+        max_attempts=args.max_attempts,
+        retry_budget_rate=args.retry_budget_rate,
+        retry_budget_capacity=args.retry_budget,
+        hedge=not args.no_hedge,
+        hedge_delay=args.hedge_delay,
+    )
+    with ReproClient(args.url, policy=policy,
+                     client_id=args.client_id) as client:
+        cmd = args.remote_command
+        if cmd == "health":
+            ready, ready_body = client.ready()
+            body = {"health": client.health(), "ready": ready,
+                    "readyz": ready_body}
+        elif cmd == "query":
+            body = client.query(args.dataset, args.query,
+                                squash=not args.no_squash)
+        elif cmd == "stats":
+            metrics = args.metrics.split(",") if args.metrics else None
+            columns = args.columns.split(",") if args.columns else None
+            body = client.stats(args.dataset, metrics=metrics,
+                                columns=columns)
+        else:  # ingest
+            profiles: list = []
+            for name in args.files:
+                doc = json_mod.loads(Path(name).read_text("utf-8"))
+                if isinstance(doc, list):
+                    profiles.extend(doc)
+                else:
+                    profiles.append(doc)
+            body = client.ingest(args.dataset, profiles,
+                                 overwrite=args.overwrite)
+        print(json_mod.dumps(body, indent=2, sort_keys=True))
+        diag = client.to_dict()
+        print(f"remote {cmd}: ok (retries={diag['retries']}, "
+              f"hedges={diag['hedges']}, "
+              f"hedge_wins={diag['hedge_wins']}, "
+              f"budget_spent={diag['budget']['spent']:g})",
+              file=sys.stderr)
+    return EXIT_OK
+
+
 def _cmd_obs(args) -> int:
     """Summarize a trace file recorded with ``--trace``."""
     import json as json_mod
@@ -754,6 +804,87 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(p, suppress=True)
     p.set_defaults(fn=_cmd_serve)
 
+    p = sub.add_parser("remote",
+                       help="talk to a repro serve endpoint through the "
+                            "resilient client (budgeted retries, deadline "
+                            "propagation, hedged reads, idempotency keys)")
+    remote_sub = p.add_subparsers(dest="remote_command", required=True)
+
+    def _add_remote_common(rp, include_metrics: bool = True) -> None:
+        rp.add_argument("--url", required=True, metavar="URL",
+                        help="base URL of the server, e.g. "
+                             "http://127.0.0.1:8080")
+        rp.add_argument("--timeout", type=float, default=30.0,
+                        metavar="SEC",
+                        help="whole-call deadline, retries included; the "
+                             "remaining budget is propagated to the server "
+                             "as X-Repro-Deadline-Ms (default 30)")
+        rp.add_argument("--attempt-timeout", type=float, default=10.0,
+                        dest="attempt_timeout", metavar="SEC",
+                        help="per-attempt socket budget (default 10)")
+        rp.add_argument("--max-attempts", type=int, default=4,
+                        dest="max_attempts", metavar="N",
+                        help="total tries per call (default 4)")
+        rp.add_argument("--retry-budget", type=float, default=10.0,
+                        dest="retry_budget", metavar="N",
+                        help="token-bucket retry capacity shared by the "
+                             "whole invocation (default 10)")
+        rp.add_argument("--retry-budget-rate", type=float, default=2.0,
+                        dest="retry_budget_rate", metavar="RPS",
+                        help="retry-token refill per second (0 freezes "
+                             "the bucket at its capacity; default 2)")
+        rp.add_argument("--no-hedge", action="store_true",
+                        dest="no_hedge",
+                        help="disable hedged backup requests for reads")
+        rp.add_argument("--hedge-delay", type=float, default=None,
+                        dest="hedge_delay", metavar="SEC",
+                        help="fixed hedge delay (default: derive from the "
+                             "observed p95 read latency)")
+        rp.add_argument("--client-id", default=None, dest="client_id",
+                        metavar="ID",
+                        help="stable X-Client-Id for the server's "
+                             "per-client admission breaker")
+        _add_obs_flags(rp, suppress=True, include_metrics=include_metrics)
+        rp.set_defaults(fn=_cmd_remote)
+
+    rp = remote_sub.add_parser("health",
+                               help="liveness + readiness of the server")
+    _add_remote_common(rp)
+
+    rp = remote_sub.add_parser("query",
+                               help="run a string-dialect query remotely")
+    rp.add_argument("--dataset", required=True, metavar="NAME",
+                    help="served dataset to query")
+    rp.add_argument("--query", required=True, metavar="EXPR",
+                    help="string-dialect call-path query")
+    rp.add_argument("--no-squash", action="store_true", dest="no_squash",
+                    help="keep unmatched graph nodes in the result shape")
+    _add_remote_common(rp)
+
+    rp = remote_sub.add_parser("stats",
+                               help="aggregate statistics for a dataset")
+    rp.add_argument("--dataset", required=True, metavar="NAME",
+                    help="served dataset to aggregate")
+    rp.add_argument("--metrics", default=None, metavar="M1,M2",
+                    help="comma-separated statistics (default: mean)")
+    rp.add_argument("--columns", default=None, metavar="C1,C2",
+                    help="comma-separated metric columns "
+                         "(default: all exclusive metrics)")
+    _add_remote_common(rp, include_metrics=False)
+
+    rp = remote_sub.add_parser("ingest",
+                               help="upload profile JSON files as a new "
+                                    "dataset (idempotency-keyed: a retried "
+                                    "upload cannot double-ingest)")
+    rp.add_argument("--dataset", required=True, metavar="NAME",
+                    help="dataset name to create on the server")
+    rp.add_argument("files", nargs="+", metavar="FILE",
+                    help="JSON files, each one profile payload (or a "
+                         "list of them)")
+    rp.add_argument("--overwrite", action="store_true",
+                    help="replace the dataset if it already exists")
+    _add_remote_common(rp)
+
     p = sub.add_parser("perf", help="performance watchdog: record baseline "
                                     "runs, check candidates for regressions")
     perf_sub = p.add_subparsers(dest="perf_command", required=True)
@@ -892,7 +1023,12 @@ def _finish_profiler(args, profiler) -> None:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    from .errors import PersistenceError, ReproError, ServeError
+    from .errors import (
+        ClientError,
+        PersistenceError,
+        ReproError,
+        ServeError,
+    )
 
     args = build_parser().parse_args(argv)
 
@@ -916,7 +1052,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         profiler = SamplingProfiler(hz=profile_hz).start()
     try:
         rc = args.fn(args)
-    except ServeError as e:
+    except (ClientError, ServeError) as e:
         print(f"error [{e.stage}]: {type(e).__name__}: {e}", file=sys.stderr)
         return EXIT_SERVE_FAILURE
     except PersistenceError as e:

@@ -28,11 +28,18 @@ Hierarchy::
     │   ├── WorkerCrashError       the worker process died / stopped beating
     │   ├── CircuitOpenError       fast-fail while a circuit breaker is open
     │   └── DeadlineExceededError  the whole run blew its wall budget
-    └── ServeError             analysis-service failures (repro serve)
-        ├── OverloadedError        admission shed a request (HTTP 429)
-        ├── NotReadyError          degraded/shedding/draining (HTTP 503)
-        ├── RequestTimeoutError    a request blew its deadline (HTTP 503)
-        └── NotFoundError          unknown dataset / route (HTTP 404)
+    ├── ServeError             analysis-service failures (repro serve)
+    │   ├── OverloadedError        admission shed a request (HTTP 429)
+    │   ├── NotReadyError          degraded/shedding/draining (HTTP 503)
+    │   ├── RequestTimeoutError    a request blew its deadline (HTTP 503)
+    │   └── NotFoundError          unknown dataset / route (HTTP 404)
+    └── ClientError            resilient-client failures (repro.client)
+        ├── TransportError             connection refused / reset / torn
+        ├── ServerRejectedError        the server answered with an error
+        ├── RetryBudgetExhaustedError  the retry token bucket ran dry
+        ├── ClientDeadlineError        the call/session deadline expired
+        └── ClientCircuitOpenError     per-host breaker fast-fail
+                                       (also a CircuitOpenError)
 
 ``CompositionError`` doubles as a ``ValueError`` so that pre-existing
 callers catching ``ValueError`` around :meth:`Thicket.from_caliperreader`
@@ -63,6 +70,12 @@ __all__ = [
     "NotReadyError",
     "RequestTimeoutError",
     "NotFoundError",
+    "ClientError",
+    "TransportError",
+    "ServerRejectedError",
+    "RetryBudgetExhaustedError",
+    "ClientDeadlineError",
+    "ClientCircuitOpenError",
 ]
 
 
@@ -297,6 +310,102 @@ class NotFoundError(ServeError):
     default_stage = "serve"
     status = 404
     code = "not_found"
+
+
+class ClientError(ReproError):
+    """A request made through :class:`repro.client.ReproClient` failed.
+
+    The client-side mirror of :class:`ServeError`: every way a remote
+    call can fail — the wire dropped, the server said no, the retry
+    budget ran dry, the deadline expired — surfaces as one of these
+    subclasses, so callers never see a bare ``OSError`` or
+    ``http.client`` exception.  ``source`` carries the request target
+    (``METHOD host:port/path``) and ``request_id`` the server-assigned
+    correlation id when one was received, so a client-side failure is
+    joinable with the server's logs and traces.
+    """
+
+    default_stage = "client"
+
+    def __init__(self, message: str, *, source: Any = None,
+                 stage: str | None = None,
+                 request_id: "str | None" = None):
+        self.request_id = request_id
+        super().__init__(message, source=source, stage=stage)
+
+
+class TransportError(ClientError):
+    """The connection itself failed: refused, reset, or torn mid-body.
+
+    Wraps the underlying ``OSError`` / ``http.client`` failure (kept as
+    ``__cause__``).  Transport failures on idempotent or
+    idempotency-keyed requests are retried against the budget; on
+    unkeyed unsafe requests they are surfaced immediately.
+    """
+
+    default_stage = "transport"
+
+
+class ServerRejectedError(ClientError):
+    """The server answered with an error envelope (HTTP >= 400).
+
+    Carries the HTTP ``status``, the machine-readable envelope
+    ``code``, the server's ``retry_after`` hint when one was sent, and
+    the echoed ``request_id``.  Retryable statuses (429/500/502/503/
+    504) are consumed by the retry loop; what ultimately reaches the
+    caller is either a non-retryable rejection (400/404) or the final
+    rejection after the budget/deadline ran out.
+    """
+
+    default_stage = "client"
+
+    def __init__(self, message: str, *, status: int, code: str = "internal",
+                 retry_after: "float | None" = None, source: Any = None,
+                 request_id: "str | None" = None):
+        self.status = int(status)
+        self.code = str(code)
+        self.retry_after = retry_after
+        super().__init__(message, source=source, request_id=request_id)
+
+
+class RetryBudgetExhaustedError(ClientError):
+    """The client's token-bucket retry budget ran dry (no retry storms).
+
+    Raised instead of launching one more retry: when every caller in a
+    fleet retries at once, the retries themselves become the overload.
+    The bucket refills at ``ClientPolicy.retry_budget_rate`` tokens per
+    second up to ``retry_budget_capacity``, so a short blip retries
+    freely while a sustained outage degrades into fast typed failures.
+    ``__cause__`` carries the error that wanted the retry.
+    """
+
+    default_stage = "retry"
+
+
+class ClientDeadlineError(ClientError):
+    """The per-call or whole-session deadline expired client-side.
+
+    Raised before wasting a network round-trip the budget can no longer
+    pay for: either the deadline expired between retries, or the
+    remaining budget is smaller than ``ClientPolicy.min_attempt_budget``.
+    ``__cause__`` carries the last attempt's failure when one happened.
+    """
+
+    default_stage = "deadline"
+
+
+class ClientCircuitOpenError(ClientError, CircuitOpenError):
+    """The per-host circuit breaker is open: fail fast, no connection.
+
+    A host that keeps failing trips its breaker
+    (:class:`repro.resilience.CircuitBreaker` keyed by ``host:port``),
+    and further calls fail immediately for the cooldown instead of
+    burning the retry budget against a dead server.  Doubly typed: both
+    a :class:`ClientError` (the client contract) and a
+    :class:`CircuitOpenError` (the resilience contract).
+    """
+
+    default_stage = "client"
 
 
 class CorruptStoreError(PersistenceError):

@@ -5,11 +5,12 @@ A two-tier analyzer over one engine (:mod:`repro.lint.engine`):
 **Tier 1 — per-file rules**, one parse + one walk per file:
 
 * **Repo invariants** (:mod:`repro.lint.rules_repo`, ``RPR001``–
-  ``RPR008``): the hardening discipline introduced by earlier PRs —
-  typed errors, atomic writes, injectable clocks, deterministic
-  serialization, documented public API, retries/pools routed through
-  ``repro.resilience``, static telemetry names — enforced mechanically
-  instead of by convention.
+  ``RPR008`` and ``RPR011``): the hardening discipline introduced by
+  earlier PRs — typed errors, atomic writes, injectable clocks,
+  deterministic serialization, documented public API, retries/pools
+  routed through ``repro.resilience``, static telemetry names,
+  outbound HTTP routed through ``repro.client`` — enforced
+  mechanically instead of by convention.
 * **Query literals** (:mod:`repro.lint.rules_query`, ``RPQ101``–
   ``RPQ102``): string/object-dialect call-path queries embedded as
   literals in any linted source are compiled at lint time, so a

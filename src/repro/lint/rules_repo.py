@@ -17,6 +17,7 @@ RPR005  deterministic serialization (sorted keys, no unsorted sets)
 RPR006  public API functions must carry docstrings
 RPR007  retries and pools route through ``repro.resilience``
 RPR008  telemetry names are static lowercase dotted string literals
+RPR011  outbound HTTP/socket calls route through ``repro.client``
 ======  ==============================================================
 """
 
@@ -462,5 +463,70 @@ class TelemetryNameRule(Rule):
                        f"inconsistent names fragment the metric namespace")
 
 
+@register
+class OutboundHttpRule(Rule):
+    rule_id = "RPR011"
+    severity = "error"
+    description = ("outbound HTTP/socket connections "
+                   "(http.client.HTTPConnection, urllib urlopen, "
+                   "socket.create_connection) outside repro/client/")
+    rationale = ("a raw HTTPConnection has no deadline propagation, no "
+                 "retry budget, no idempotency key, and no circuit "
+                 "breaker; every outbound call routes through "
+                 "client.ReproClient so the resilience contract cannot "
+                 "be bypassed one call site at a time (PR 10)")
+
+    # the client package is the sanctioned transport; http.server-based
+    # inbound code (serve/, workloads/flaky_server.py) never matches
+    # because these patterns are all outbound constructors
+    ALLOWED_MODULES = ("client/",)
+    _CONN_CLASSES = {"HTTPConnection", "HTTPSConnection"}
+    _URLOPEN_OWNERS = {"urllib", "request", "urllib.request"}
+
+    def begin_file(self, ctx: FileContext) -> None:
+        self.conn_aliases: set[str] = set()
+        self.urlopen_aliases: set[str] = set()
+        if ctx.module_matches(self.ALLOWED_MODULES):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "http.client":
+                    self.conn_aliases |= {a.asname or a.name
+                                          for a in node.names
+                                          if a.name in self._CONN_CLASSES}
+                elif node.module == "urllib.request":
+                    self.urlopen_aliases |= {a.asname or a.name
+                                             for a in node.names
+                                             if a.name == "urlopen"}
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        if ctx.module_matches(self.ALLOWED_MODULES):
+            return
+        func = node.func
+        dotted = _dotted(func).split(".")
+        tail = dotted[-1]
+        if isinstance(func, ast.Name):
+            if func.id in self.conn_aliases:
+                self._flag(node, func.id, ctx)
+            elif func.id in self.urlopen_aliases:
+                self._flag(node, "urlopen", ctx)
+            return
+        if len(dotted) < 2:
+            return
+        owner = ".".join(dotted[:-1])
+        if tail in self._CONN_CLASSES and owner.endswith("client"):
+            self._flag(node, f"{owner}.{tail}", ctx)
+        elif tail == "urlopen" and owner in self._URLOPEN_OWNERS:
+            self._flag(node, f"{owner}.{tail}", ctx)
+        elif tail == "create_connection" and dotted[-2] == "socket":
+            self._flag(node, "socket.create_connection", ctx)
+
+    def _flag(self, node: ast.Call, label: str, ctx: FileContext) -> None:
+        ctx.report(self, node,
+                   f"outbound connection via {label} outside "
+                   f"repro/client/; use client.ReproClient so deadlines, "
+                   f"retry budgets, and idempotency keys apply")
+
+
 REPO_RULE_IDS = ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
-                 "RPR006", "RPR007", "RPR008"]
+                 "RPR006", "RPR007", "RPR008", "RPR011"]

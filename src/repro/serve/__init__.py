@@ -19,7 +19,15 @@ JSON API, built from four robustness pillars:
 * **crash-only lifecycle** (:mod:`~repro.serve.http`) — SIGTERM
   drains gracefully under a :class:`~repro.resilience.SignalGuard`;
   ``kill -9`` is recoverable by construction because every store
-  write is atomic and checksummed.
+  write is atomic and checksummed;
+* **end-to-end resilience contract** (:mod:`~repro.serve.idempotency`
+  plus :class:`~repro.serve.service.AnalysisService`) — the server
+  half of :mod:`repro.client`: propagated ``X-Repro-Deadline-Ms``
+  budgets shrink worker deadlines and expired work is refused before
+  admission; ``X-Repro-Idempotency-Key`` requests replay committed
+  results and coalesce concurrent duplicates, so client retries are
+  exactly-once in effect; every response carries
+  ``X-Repro-Request-Id``.
 
 :class:`~repro.serve.service.AnalysisService` is the transport-free
 core (fully testable without sockets);
@@ -30,6 +38,7 @@ from __future__ import annotations
 
 from .admission import AdmissionController, Ticket, TokenBucket
 from .http import ReproServer, make_handler
+from .idempotency import IdempotencyCache
 from .pressure import (
     PressureGovernor,
     STATE_DEGRADED,
@@ -46,5 +55,6 @@ __all__ = [
     "PressureGovernor", "STATE_OK", "STATE_DEGRADED", "STATE_SHEDDING",
     "STATE_ORDER",
     "AnalysisService", "error_payload",
+    "IdempotencyCache",
     "ReproServer", "make_handler",
 ]

@@ -97,7 +97,8 @@ def make_handler(service: AnalysisService,
         def do_GET(self) -> None:  # noqa: N802 (http.server contract)
             try:
                 status, body, headers = service.dispatch(
-                    "GET", self.path, None, self._client_key())
+                    "GET", self.path, None, self._client_key(),
+                    dict(self.headers.items()))
                 self._send_json(status, body, headers)
             except Exception as exc:  # pragma: transport boundary — any
                 # failure still leaves as a typed JSON error envelope
@@ -107,7 +108,8 @@ def make_handler(service: AnalysisService,
             try:
                 payload = self._read_body()
                 status, body, headers = service.dispatch(
-                    "POST", self.path, payload, self._client_key())
+                    "POST", self.path, payload, self._client_key(),
+                    dict(self.headers.items()))
                 self._send_json(status, body, headers)
             except Exception as exc:  # pragma: transport boundary — bad
                 # JSON, oversized bodies, and surprises all map to

@@ -1,0 +1,182 @@
+"""Server-side idempotency: replay completed work, coalesce duplicates.
+
+At-least-once delivery is the price of client retries: a retried
+``/v1/ingest`` whose first delivery actually committed would ingest the
+dataset twice.  The :class:`IdempotencyCache` turns at-least-once
+delivery into exactly-once *execution* for keyed requests:
+
+* A request carrying ``X-Repro-Idempotency-Key`` that matches a
+  recently **completed** entry replays the stored result without
+  re-executing (counter ``serve.idempotency.replays``).
+* A duplicate that arrives while the first execution is still
+  **in flight** — a client retry racing the original, or the second
+  leg of a hedged read — parks on the first execution's event and
+  receives its outcome (counter ``serve.idempotency.coalesced``).
+  Exactly one execution happens.
+* Failures propagate to every waiter but are *not* cached: the next
+  retry with the same key re-executes (errors are often transient —
+  replaying them forever would defeat the retry).
+
+The cache is bounded two ways: entries expire after ``ttl`` seconds
+and the oldest completed entries are evicted past ``capacity``.
+In-flight entries are never evicted.
+
+Lock discipline (RPC201): the cache lock only guards the dict — the
+wrapped function and all waiting happen outside it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+from ..errors import ServeError
+from ..obs import counter as obs_counter
+
+__all__ = ["IdempotencyCache"]
+
+
+class _Entry:
+    """One keyed execution: its completion event, then its outcome."""
+
+    __slots__ = ("done", "result", "error", "completed_at")
+
+    def __init__(self):
+        self.done = threading.Event()
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self.completed_at: float | None = None
+
+
+class IdempotencyCache:
+    """Bounded TTL'd replay cache with in-flight coalescing.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum completed entries retained; the oldest-completed are
+        evicted first.
+    ttl:
+        Seconds a completed result stays replayable.
+    wait_timeout:
+        Safety bound on how long a coalesced duplicate waits for the
+        first execution (it should normally be released far sooner by
+        that execution finishing).
+    clock:
+        Injectable monotonic clock.
+    """
+
+    def __init__(self, capacity: int = 1024, ttl: float = 300.0,
+                 wait_timeout: float = 60.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl}")
+        self.capacity = capacity
+        self.ttl = ttl
+        self.wait_timeout = wait_timeout
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._entries: dict[str, _Entry] = {}
+        self.replays = 0
+        self.coalesced = 0
+        self.executions = 0
+
+    def _evict_locked(self, now: float) -> None:
+        """Drop expired + over-capacity completed entries (lock held)."""
+        expired = [k for k, e in self._entries.items()
+                   if e.completed_at is not None
+                   and now - e.completed_at >= self.ttl]
+        for k in expired:
+            del self._entries[k]
+        completed = [(e.completed_at, k) for k, e in self._entries.items()
+                     if e.completed_at is not None]
+        overflow = len(completed) - self.capacity
+        if overflow > 0:
+            completed.sort()
+            for _, k in completed[:overflow]:
+                del self._entries[k]
+
+    def execute(self, key: str | None,
+                fn: Callable[[], Any]) -> tuple[Any, bool]:
+        """Run *fn* at most once per live *key*.
+
+        Returns ``(result, replayed)`` where *replayed* is True when
+        the result came from the cache or a coalesced in-flight
+        execution rather than this call running *fn*.  A ``None`` key
+        bypasses the cache entirely.  Failures raised by *fn* propagate
+        to the owner and every coalesced waiter, and the key becomes
+        re-executable.
+        """
+        if key is None:
+            return fn(), False
+        now = self.clock()
+        with self._lock:
+            self._evict_locked(now)
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = _Entry()
+                self._entries[key] = entry
+                owner = True
+            else:
+                owner = False
+        if not owner:
+            return self._await_entry(key, entry)
+        self.executions += 1
+        try:
+            result = fn()
+        except BaseException as exc:
+            # hand the failure to every coalesced waiter, then forget
+            # the key so the next retry re-executes
+            entry.error = exc
+            entry.completed_at = self.clock()
+            entry.done.set()
+            with self._lock:
+                if self._entries.get(key) is entry:
+                    del self._entries[key]
+            raise
+        entry.result = result
+        entry.completed_at = self.clock()
+        entry.done.set()
+        return result, False
+
+    def _await_entry(self, key: str,
+                     entry: _Entry) -> tuple[Any, bool]:
+        """Duplicate path: replay a completed entry or park on it."""
+        if entry.done.is_set():
+            obs_counter("serve.idempotency.replays")
+            with self._lock:
+                self.replays += 1
+        else:
+            obs_counter("serve.idempotency.coalesced")
+            with self._lock:
+                self.coalesced += 1
+            if not entry.done.wait(self.wait_timeout):
+                raise ServeError(
+                    f"idempotent duplicate for key {key!r} timed out "
+                    f"after {self.wait_timeout:.1f}s waiting for the "
+                    f"original execution", stage="idempotency")
+        if entry.error is not None:
+            raise entry.error
+        return entry.result, True
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def to_dict(self) -> dict:
+        """Diagnostics snapshot: sizes and hit accounting."""
+        with self._lock:
+            inflight = sum(1 for e in self._entries.values()
+                           if e.completed_at is None)
+            return {
+                "entries": len(self._entries),
+                "inflight": inflight,
+                "capacity": self.capacity,
+                "ttl": self.ttl,
+                "replays": self.replays,
+                "coalesced": self.coalesced,
+                "executions": self.executions,
+            }

@@ -33,8 +33,23 @@ Work endpoints (query/stats/ingest) are admitted per client, executed
 on the supervised worker pool under the request deadline, and the
 outcome is recorded into the client's circuit breaker.  Every error —
 shed, timeout, bad query, internal bug — leaves as a JSON body
-``{"error": {"code", "message", ...}}`` with the right status code;
-nothing escapes as a raw traceback.
+``{"error": {"code", "message", "request_id", ...}}`` with the right
+status code; nothing escapes as a raw traceback.
+
+The service also implements the server half of the
+:mod:`repro.client` resilience contract:
+
+* every request is assigned a **request id**, echoed as the
+  ``X-Repro-Request-Id`` header (and in error envelopes) so a client
+  retry can be correlated with the server-side execution it repeats;
+* a propagated ``X-Repro-Deadline-Ms`` budget shrinks the effective
+  worker deadline to ``min(request_timeout, remaining budget)``, and
+  work whose budget is already spent is refused *before* admission
+  with a typed 504 (counter ``serve.deadline.expired``);
+* requests carrying ``X-Repro-Idempotency-Key`` run through the
+  :class:`~repro.serve.idempotency.IdempotencyCache`: a retried
+  delivery replays the committed result (``X-Repro-Idempotent-Replay:
+  1``) and concurrent duplicates coalesce onto one execution.
 """
 
 from __future__ import annotations
@@ -42,7 +57,9 @@ from __future__ import annotations
 import re
 import threading
 import time
+import uuid
 from collections import OrderedDict
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable
 
@@ -52,6 +69,7 @@ from ..errors import (
     NotFoundError,
     NotReadyError,
     ReproError,
+    RequestTimeoutError,
     ServeError,
 )
 from ..obs import counter as obs_counter
@@ -60,10 +78,17 @@ from ..obs import get_telemetry
 from ..obs import observe as obs_observe
 from ..obs import span as obs_span
 from .admission import AdmissionController
+from .idempotency import IdempotencyCache
 from .pressure import PressureGovernor, STATE_DEGRADED, STATE_SHEDDING
 from .workers import WorkerPool
 
 __all__ = ["AnalysisService", "error_payload"]
+
+#: request headers the resilience contract is carried on
+DEADLINE_HEADER = "x-repro-deadline-ms"
+IDEMPOTENCY_HEADER = "x-repro-idempotency-key"
+REQUEST_ID_HEADER = "X-Repro-Request-Id"
+REPLAY_HEADER = "X-Repro-Idempotent-Replay"
 
 #: dataset names must be safe as file stems under the store directory
 _NAME_RE = re.compile(r"^[A-Za-z0-9_.-]+$")
@@ -74,7 +99,8 @@ _RESULT_CACHE_CAP = 128
 _STAT_FNS = ("mean", "median", "minimum", "maximum", "std", "variance")
 
 
-def error_payload(exc: BaseException) -> tuple[int, dict, dict]:
+def error_payload(exc: BaseException,
+                  request_id: str | None = None) -> tuple[int, dict, dict]:
     """Map *exc* to ``(status, json_body, extra_headers)``.
 
     This is the single exception→response mapping the whole serve
@@ -83,7 +109,9 @@ def error_payload(exc: BaseException) -> tuple[int, dict, dict]:
     :class:`~repro.errors.ServeError` subclasses carry their own
     status/code/Retry-After; validation-class errors become 400s; and
     anything unrecognised becomes an opaque 500 ``internal`` envelope
-    so no traceback ever reaches a client.
+    so no traceback ever reaches a client.  When *request_id* is given
+    it rides in the envelope and as ``X-Repro-Request-Id`` so the
+    failure can be found in server traces.
     """
     headers: dict[str, str] = {}
     if isinstance(exc, ServeError):
@@ -111,7 +139,19 @@ def error_payload(exc: BaseException) -> tuple[int, dict, dict]:
     }
     if "Retry-After" in headers:
         body["error"]["retry_after"] = float(headers["Retry-After"])
+    if request_id is not None:
+        body["error"]["request_id"] = request_id
+        headers[REQUEST_ID_HEADER] = request_id
     return status, body, headers
+
+
+@dataclass
+class _RequestContext:
+    """Per-request resilience envelope parsed from transport headers."""
+
+    request_id: str
+    deadline: float | None = None  # remaining budget in seconds
+    idempotency_key: str | None = None
 
 
 class AnalysisService:
@@ -133,7 +173,14 @@ class AnalysisService:
         given, its transitions drive cache eviction and degraded
         behaviour (the service installs itself as ``on_transition``).
     request_timeout:
-        Per-request deadline in seconds.
+        Per-request deadline in seconds (the server-side ceiling; a
+        propagated client budget can only shrink it).
+    idempotency:
+        The :class:`~repro.serve.idempotency.IdempotencyCache` backing
+        keyed-request replay (a default one is built if omitted).
+    request_id_factory:
+        Generator for per-request correlation ids (injectable for
+        deterministic tests; defaults to random UUID prefixes).
     clock:
         Injectable monotonic clock for latency accounting.
     """
@@ -143,6 +190,8 @@ class AnalysisService:
                  pool: WorkerPool | None = None,
                  governor: PressureGovernor | None = None,
                  request_timeout: float = 30.0,
+                 idempotency: IdempotencyCache | None = None,
+                 request_id_factory: Callable[[], str] | None = None,
                  clock: Callable[[], float] = time.monotonic):
         if request_timeout <= 0:
             raise ValueError(
@@ -155,6 +204,9 @@ class AnalysisService:
         if governor is not None:
             governor.on_transition = self._on_pressure
         self.request_timeout = float(request_timeout)
+        self.idempotency = idempotency or IdempotencyCache(clock=clock)
+        self._request_id_factory = request_id_factory \
+            or (lambda: uuid.uuid4().hex[:16])
         self.clock = clock
         self.draining = threading.Event()
         self._cache_lock = threading.Lock()
@@ -384,14 +436,30 @@ class AnalysisService:
 
     # -- dispatch -------------------------------------------------------
     def _admit_and_run(self, endpoint: str, client: str,
-                       fn: Callable[[], dict]) -> dict:
+                       fn: Callable[[], dict],
+                       ctx: _RequestContext | None = None
+                       ) -> tuple[dict, bool]:
+        """Admit, execute (or replay) one work request.
+
+        Returns ``(result, replayed)``.  The effective deadline is the
+        server ceiling shrunk by any propagated client budget; keyed
+        requests route through the idempotency cache so a redelivered
+        request replays instead of re-executing.
+        """
         self._require_capacity(endpoint)
+        timeout = self.request_timeout
+        key = None
+        if ctx is not None:
+            key = ctx.idempotency_key
+            if ctx.deadline is not None:
+                timeout = min(timeout, ctx.deadline)
         ticket = self.admission.admit(client)
         obs_gauge("serve.inflight", float(self.admission.inflight))
         try:
             with ticket:
-                result = self.pool.run(
-                    fn, timeout=self.request_timeout, label=endpoint)
+                result, replayed = self.idempotency.execute(
+                    key, lambda: self.pool.run(
+                        fn, timeout=timeout, label=endpoint))
         except BaseException:
             # failed requests (timeouts, bad queries, internal errors)
             # count against this client's breaker, then propagate to
@@ -399,71 +467,125 @@ class AnalysisService:
             ticket.failure()
             raise
         ticket.success()
-        return result
+        return result, replayed
+
+    @staticmethod
+    def _parse_context(request_id: str,
+                       headers: dict | None) -> _RequestContext:
+        """Extract the resilience envelope from transport headers."""
+        ctx = _RequestContext(request_id=request_id)
+        if not headers:
+            return ctx
+        lowered = {str(k).lower(): v for k, v in headers.items()}
+        raw_ms = lowered.get(DEADLINE_HEADER)
+        if raw_ms is not None:
+            try:
+                ctx.deadline = int(raw_ms) / 1000.0
+            except (TypeError, ValueError):
+                ctx.deadline = None  # unparseable budgets are ignored
+        key = lowered.get(IDEMPOTENCY_HEADER)
+        if key:
+            ctx.idempotency_key = str(key)[:128]
+        return ctx
 
     def dispatch(self, method: str, path: str, payload: dict | None,
-                 client: str) -> tuple[int, dict, dict]:
+                 client: str,
+                 headers: dict | None = None) -> tuple[int, dict, dict]:
         """Route one request; returns ``(status, body, headers)``.
 
         Never raises: every exception is converted through
         :func:`error_payload` into a typed JSON error response.
+        *headers* (optional, case-insensitive) carries the resilience
+        contract: ``X-Repro-Deadline-Ms`` (remaining client budget —
+        expired work is refused before admission) and
+        ``X-Repro-Idempotency-Key`` (replay cache / duplicate
+        coalescing).  Every response carries ``X-Repro-Request-Id``.
         """
         self.requests += 1
         start = self.clock()
+        ctx = self._parse_context(self._request_id_factory(), headers)
         try:
             with obs_span("serve.request"):
-                status, body, headers = self._route(method, path,
-                                                    payload or {}, client)
+                if ctx.deadline is not None and ctx.deadline <= 0:
+                    # the client's budget is already spent: refuse
+                    # before admission rather than queueing work whose
+                    # answer nobody will read
+                    obs_counter("serve.deadline.expired")
+                    raise RequestTimeoutError(
+                        f"propagated deadline already expired for "
+                        f"{method} {path}", source=path)
+                status, body, resp_headers = self._route(
+                    method, path, payload or {}, client, ctx)
+                resp_headers.setdefault(REQUEST_ID_HEADER,
+                                        ctx.request_id)
         except BaseException as exc:  # pragma: service boundary — every
             # failure is mapped to a typed JSON error envelope here
-            status, body, headers = error_payload(exc)
+            status, body, resp_headers = error_payload(
+                exc, request_id=ctx.request_id)
         obs_observe("serve.latency_seconds", self.clock() - start)
         obs_counter("serve.requests")
         if status >= 500:
             obs_counter("serve.errors")
         elif status == 429:
             obs_counter("serve.sheds")
-        return status, body, headers
+        return status, body, resp_headers
 
     def _route(self, method: str, path: str, payload: dict,
-               client: str) -> tuple[int, dict, dict]:
+               client: str,
+               ctx: _RequestContext | None = None
+               ) -> tuple[int, dict, dict]:
         if method == "GET":
-            if path == "/healthz":
-                status, body = self.healthz()
-                return status, body, {}
-            if path == "/readyz":
-                status, body = self.readyz()
-                headers = {"Retry-After": "5"} if status == 503 else {}
-                return status, body, headers
-            if path == "/v1/metrics":
-                status, body = self.metrics()
-                return status, body, {}
-            if path == "/v1/datasets":
-                return 200, {"datasets": self.datasets()}, {}
-            raise NotFoundError(f"no such endpoint: GET {path}",
-                                source=path)
+            # keyed GETs (the two legs of a client's hedged read share
+            # one idempotency key) coalesce onto a single execution
+            key = ctx.idempotency_key if ctx is not None else None
+            result, replayed = self.idempotency.execute(
+                key, lambda: self._route_get(path))
+            status, body, headers = result
+            if replayed:
+                headers = dict(headers)
+                headers[REPLAY_HEADER] = "1"
+            return status, body, headers
         if method == "POST":
             if path == "/v1/query":
                 with obs_span("serve.query"):
-                    body = self._admit_and_run(
+                    body, replayed = self._admit_and_run(
                         "query", client,
-                        lambda: self._do_query(payload))
-                return 200, body, {}
+                        lambda: self._do_query(payload), ctx)
+                return 200, body, self._replay_headers(replayed)
             if path == "/v1/stats":
                 with obs_span("serve.stats"):
-                    body = self._admit_and_run(
+                    body, replayed = self._admit_and_run(
                         "stats", client,
-                        lambda: self._do_stats(payload))
-                return 200, body, {}
+                        lambda: self._do_stats(payload), ctx)
+                return 200, body, self._replay_headers(replayed)
             if path == "/v1/ingest":
                 with obs_span("serve.ingest"):
-                    body = self._admit_and_run(
+                    body, replayed = self._admit_and_run(
                         "ingest", client,
-                        lambda: self._do_ingest(payload))
-                return 200, body, {}
+                        lambda: self._do_ingest(payload), ctx)
+                return 200, body, self._replay_headers(replayed)
             raise NotFoundError(f"no such endpoint: POST {path}",
                                 source=path)
         raise NotFoundError(f"unsupported method {method}", source=path)
+
+    def _route_get(self, path: str) -> tuple[int, dict, dict]:
+        if path == "/healthz":
+            status, body = self.healthz()
+            return status, body, {}
+        if path == "/readyz":
+            status, body = self.readyz()
+            headers = {"Retry-After": "5"} if status == 503 else {}
+            return status, body, headers
+        if path == "/v1/metrics":
+            status, body = self.metrics()
+            return status, body, {}
+        if path == "/v1/datasets":
+            return 200, {"datasets": self.datasets()}, {}
+        raise NotFoundError(f"no such endpoint: GET {path}", source=path)
+
+    @staticmethod
+    def _replay_headers(replayed: bool) -> dict:
+        return {REPLAY_HEADER: "1"} if replayed else {}
 
     # -- lifecycle -----------------------------------------------------
     def begin_drain(self) -> None:

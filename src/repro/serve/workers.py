@@ -39,12 +39,19 @@ __all__ = ["WorkerPool", "WorkItem"]
 
 
 class WorkItem:
-    """One queued request body: callable, completion event, outcome."""
+    """One queued request body: callable, completion event, outcome.
+
+    ``deadline`` is the absolute monotonic instant the request stops
+    being worth executing; a worker that dequeues an already-expired
+    item fails it immediately instead of wasting pool capacity on a
+    result nobody is waiting for.
+    """
 
     __slots__ = ("fn", "args", "label", "done", "result", "error",
-                 "abandoned", "started_at")
+                 "abandoned", "started_at", "deadline")
 
-    def __init__(self, fn: Callable[..., Any], args: tuple, label: str):
+    def __init__(self, fn: Callable[..., Any], args: tuple, label: str,
+                 deadline: float | None = None):
         self.fn = fn
         self.args = args
         self.label = label
@@ -53,6 +60,7 @@ class WorkItem:
         self.error: BaseException | None = None
         self.abandoned = False
         self.started_at: float | None = None
+        self.deadline = deadline
 
 
 class _Worker:
@@ -133,6 +141,21 @@ class WorkerPool:
                 item = self._queue.get(timeout=0.1)
             except queue.Empty:
                 continue
+            if item.deadline is not None \
+                    and self.clock() >= item.deadline:
+                # expired while queued: the waiter (or the remote
+                # client) has already given up — fail fast instead of
+                # burning a worker on unwanted output
+                with self._lock:
+                    stale = item.abandoned
+                    if not stale:
+                        item.error = RequestTimeoutError(
+                            f"request {item.label!r} expired while "
+                            f"queued", source=item.label)
+                if not stale:
+                    obs_counter("serve.timeouts.queued")
+                    item.done.set()
+                continue
             with self._lock:
                 w.item = item
                 w.busy_since = self.clock()
@@ -183,9 +206,14 @@ class WorkerPool:
 
     # -- the protocol ---------------------------------------------------
     def submit(self, fn: Callable[..., Any], *args: Any,
-               label: str = "task") -> WorkItem:
-        """Enqueue one request body; sheds when the queue is full."""
-        item = WorkItem(fn, args, label)
+               label: str = "task",
+               deadline: float | None = None) -> WorkItem:
+        """Enqueue one request body; sheds when the queue is full.
+
+        *deadline* (absolute, on the pool clock) lets a worker skip the
+        item if it expires before being picked up.
+        """
+        item = WorkItem(fn, args, label, deadline)
         try:
             self._queue.put_nowait(item)
         except queue.Full:
@@ -205,7 +233,8 @@ class WorkerPool:
         deadline passes (marking the item abandoned so a late result
         is discarded) and re-raises whatever the request body raised.
         """
-        item = self.submit(fn, *args, label=label)
+        deadline = None if timeout is None else self.clock() + timeout
+        item = self.submit(fn, *args, label=label, deadline=deadline)
         if not item.done.wait(timeout):
             with self._lock:
                 timed_out = not item.done.is_set()

@@ -22,6 +22,7 @@ from .campaign import (
     write_marbl_campaign,
     write_raja_campaign,
 )
+from .flaky_server import FLAKY_MODES, FlakyServer
 from .machines import (
     AWS_PARALLELCLUSTER,
     LASSEN_CPU,
@@ -69,4 +70,5 @@ __all__ = [
     "EXECUTION_FAULT_MODES", "inject_hang", "inject_slow_io",
     "inject_slowdown", "inject_worker_crash",
     "corrupt_store", "STORE_CORRUPTION_MODES",
+    "FlakyServer", "FLAKY_MODES",
 ]
